@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one of the paper's artifacts (a Table 1/2 row,
+Figure 1, or an internal lemma/theorem) as a rendered table, printed and
+saved under ``benchmarks/reports/``, asserts the paper's qualitative shape
+("who wins, by roughly what factor"), and times one representative run at
+the largest n via pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import os
+
+REPORT_DIR = os.path.join(os.path.dirname(__file__), "reports")
+
+#: default n-sweeps (kept moderate so the whole suite runs in minutes)
+SWEEP_FAST = (500, 1000, 2000, 4000, 8000)
+SWEEP_MED = (400, 800, 1600, 3200)
+SWEEP_SLOW = (250, 500, 1000, 2000)
+
+
+def emit(name: str, text: str) -> None:
+    """Print a rendered artifact and persist it under reports/."""
+    os.makedirs(REPORT_DIR, exist_ok=True)
+    print("\n" + text)
+    with open(os.path.join(REPORT_DIR, f"{name}.txt"), "w") as fh:
+        fh.write(text + "\n")
+
+
+def time_once(benchmark, fn) -> None:
+    """Wall-clock one representative execution (the rounds-based metrics
+    are computed outside the timed region)."""
+    benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,76 @@
+"""Figure 1 -- an execution of the segmentation scheme for k = rho(n):
+segments of ~c log^(i) n H-sets each, populations decaying geometrically,
+per-segment palettes (DESIGN.md F1).
+
+Workload: a complete 5-ary tree with eps = 2 (A = 4 < 5), the canonical
+slow-peeling family -- Procedure Partition removes exactly one leaf layer
+per round, so the H-partition is deep enough to populate every segment.
+"""
+
+import repro
+from repro.analysis.logstar import ilog, rho
+from repro.bench import make_workload, render_table
+from repro.core.common import partition_length_bound
+from repro.core.segmentation import make_segment_plan, segmentation_trace
+from repro.graphs import generators as gen
+from _common import emit, time_once
+
+EPS = 2.0
+N = 20000
+
+
+def test_figure1_segmentation_trace(benchmark):
+    g = gen.kary_tree(N, 5)
+    a = 1
+    k = max(rho(g.n), 2)
+    res = repro.run_ka2_coloring(g, a=a, k=k, eps=EPS)
+    plan = make_segment_plan(g.n, k, EPS)
+    ell = partition_length_bound(g.n, EPS)
+    rows = segmentation_trace(res, plan, ell)
+
+    header = [
+        "segment i",
+        "H-sets planned (~c log^(i) n)",
+        "H-sets used",
+        "vertices",
+        "fraction",
+        "mean rounds",
+        "palette slice",
+    ]
+    fixpoint = res.palette_bound // k
+    table_rows = []
+    for r in rows:
+        planned = plan.upper_bound(r.segment, ell) - plan.lower_bound(r.segment) + 1
+        table_rows.append(
+            [
+                r.segment,
+                planned if r.segment > 1 else f"rest (<= {planned})",
+                r.num_h_sets,
+                r.vertices,
+                f"{r.fraction:.4f}",
+                f"{r.mean_rounds:.2f}",
+                f"[{(r.segment - 1) * fixpoint}..{r.segment * fixpoint - 1}]",
+            ]
+        )
+    text = render_table(
+        f"Figure 1: segmentation execution, 5-ary tree, n={g.n}, a={a}, k=rho(n)={k}",
+        header,
+        table_rows,
+    )
+    text += (
+        f"\nlog^(i) n for i=1..{k}: "
+        + ", ".join(f"{ilog(g.n, i):.2f}" for i in range(1, k + 1))
+        + f"; partition bound ell={ell}; colors used={res.colors_used}"
+    )
+    emit("figure1_segmentation", text)
+
+    # Figure-1 shape assertions: every segment is populated; segment k
+    # (formed first) holds the bulk; later segments shrink; early-segment
+    # vertices finish sooner on average.
+    assert all(r.vertices > 0 for r in rows), rows
+    pops = [r.vertices for r in rows]  # ordered k, k-1, ..., 1
+    assert pops[0] > 0.5 * g.n
+    assert all(pops[i] >= pops[i + 1] for i in range(len(pops) - 1))
+    assert rows[0].mean_rounds < rows[-1].mean_rounds
+
+    time_once(benchmark, lambda: repro.run_ka2_coloring(g, a=a, k=k, eps=EPS))

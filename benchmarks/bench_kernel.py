@@ -1,0 +1,83 @@
+"""Simulator throughput: vertex-steps per second of the round engine
+itself, so adopters can size their experiments.  (The algorithmic
+benchmarks measure rounds; this one measures the machine.)"""
+
+import repro
+from repro.bench import make_workload, render_table
+from repro.graphs import generators as gen
+from repro.runtime.network import SyncNetwork
+from _common import emit, time_once
+
+
+def test_kernel_throughput(benchmark):
+    rows = []
+    for n in (2000, 8000, 32000):
+        g = gen.union_of_forests(n, 3, seed=0)
+
+        def ping(ctx):
+            for _ in range(10):
+                ctx.broadcast(("p", ctx.round))
+                yield
+            return None
+
+        import time
+
+        t0 = time.perf_counter()
+        res = SyncNetwork(g).run(ping)
+        wall = time.perf_counter() - t0
+        steps = res.metrics.round_sum
+        msgs = res.metrics.total_messages
+        rows.append(
+            [
+                n,
+                steps,
+                msgs,
+                f"{steps / wall:,.0f}",
+                f"{msgs / wall:,.0f}",
+            ]
+        )
+    emit(
+        "kernel_throughput",
+        render_table(
+            "Round-engine throughput (10-round broadcast workload)",
+            ["n", "vertex-steps", "messages", "steps/s", "msgs/s"],
+            rows,
+        ),
+    )
+    g = gen.union_of_forests(8000, 3, seed=0)
+
+    def ping(ctx):
+        for _ in range(10):
+            ctx.broadcast(("p", ctx.round))
+            yield
+        return None
+
+    time_once(benchmark, lambda: SyncNetwork(g).run(ping))
+
+
+def test_algorithm_wallclock_scaling(benchmark):
+    """Wall-clock of the O(1)-averaged coloring is ~linear in n (work is
+    proportional to RoundSum = O(n)): the Section 1.2 simulation story."""
+    import time
+
+    rows = []
+    walls = []
+    for n in (4000, 16000):
+        g = gen.union_of_forests(n, 3, seed=1)
+        t0 = time.perf_counter()
+        repro.run_a2logn_coloring(g, a=3)
+        wall = time.perf_counter() - t0
+        walls.append(wall)
+        rows.append([n, f"{wall:.2f}s"])
+    emit(
+        "kernel_scaling",
+        render_table(
+            "Wall-clock scaling of the O(1)-averaged coloring",
+            ["n", "wall"],
+            rows,
+        ),
+    )
+    # 4x the vertices should cost clearly less than 8x the time
+    assert walls[1] / walls[0] < 8.0
+    g = gen.union_of_forests(8000, 3, seed=1)
+    time_once(benchmark, lambda: repro.run_a2logn_coloring(g, a=3))

@@ -1,0 +1,58 @@
+"""The [12] reference points the paper frames its question with (Sections
+2-3): leader election on rings has an exponential averaged/worst gap;
+O(1)-coloring of rings has none.  The paper's contribution -- reproduced by
+the other benchmarks -- is that general-graph symmetry breaking behaves
+like the former, not the latter."""
+
+import repro
+from repro.bench import render_table
+from repro.graphs import generators as gen
+from repro.related import run_leader_election
+from _common import emit, time_once
+
+
+def test_feuilloley_reference_points(benchmark):
+    rows = []
+    for n in (64, 256, 1024):
+        g = gen.ring(n)
+        ids = gen.random_ids(n, seed=n)
+        le = run_leader_election(g, ids=ids)
+        cv = repro.run_ring_three_coloring(g, ids=ids)
+        rows.append(
+            [
+                n,
+                f"{le.output_metrics.vertex_averaged:.2f}",
+                f"{le.metrics.vertex_averaged:.1f}",
+                f"{cv.metrics.vertex_averaged:.2f}",
+                cv.metrics.worst_case,
+            ]
+        )
+    emit(
+        "related_feuilloley",
+        render_table(
+            "[12] reference points on rings",
+            [
+                "n",
+                "leader election: avg output rounds",
+                "leader election: avg termination (Theta(n))",
+                "3-coloring: avg rounds",
+                "3-coloring: worst rounds (== avg)",
+            ],
+            rows,
+        )
+        + "\nleader election: exponential averaged/worst gap; "
+        "3-coloring: no gap -- the paper's open question was which side "
+        "general-graph symmetry breaking falls on.",
+    )
+    # exponential gap for leader election
+    le_out = [float(r[1]) for r in rows]
+    le_term = [float(r[2]) for r in rows]
+    assert le_term[-1] / le_term[0] > 8
+    assert le_out[-1] / le_out[0] < 4
+    # no gap for ring coloring
+    cv_avg = [float(r[3]) for r in rows]
+    cv_worst = [float(r[4]) for r in rows]
+    assert all(w - a < 1.0 for a, w in zip(cv_avg, cv_worst))
+
+    g = gen.ring(1024)
+    time_once(benchmark, lambda: run_leader_election(g, ids=gen.random_ids(1024, seed=3)))

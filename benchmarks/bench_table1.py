@@ -1,0 +1,248 @@
+"""Table 1 -- vertex-coloring algorithms: our vertex-averaged time vs the
+previous worst-case time (one bench per row; see DESIGN.md experiment
+index T1.R1 - T1.R9)."""
+
+import pytest
+
+import repro
+from repro.analysis.logstar import rho
+from repro.bench import make_workload, render_rows, summarize, sweep
+from _common import SWEEP_FAST, SWEEP_MED, SWEEP_SLOW, emit, time_once
+
+WL = make_workload("forest_union_a3")
+WL2 = make_workload("forest_union_a2")
+EPS = 0.5
+
+
+def _series(label, fn, ns, seeds=2, colors=True):
+    return sweep(
+        label,
+        fn,
+        WL,
+        ns,
+        seeds=seeds,
+        colors_of=(lambda r: r.colors_used) if colors else None,
+    )
+
+
+def test_row_oka(benchmark):
+    """T1.R1: O(ka) colors in O(a log^(k) n) avg vs O(a log n) worst [8]."""
+    ours = _series(
+        "O(ka)-color (7.7)",
+        lambda g, a, ids, s: repro.run_ka_coloring(g, a=a, k=2, eps=EPS, ids=ids),
+        SWEEP_MED,
+    )
+    base = _series(
+        "Arb-Color worst-case [8]",
+        lambda g, a, ids, s: repro.run_arb_color_worstcase(g, a=a, eps=EPS, ids=ids),
+        SWEEP_MED,
+    )
+    emit("table1_row_oka", render_rows("Table 1 row: O(ka)-coloring", ours, base))
+    assert ours.fit_avg().at_most("O(log log n)")
+    assert base.fit_avg().grows_at_least("O(log log n)")
+    assert base.points[-1].avg_mean > ours.points[-1].avg_mean
+    g, a = WL(SWEEP_MED[-1], 0)
+    time_once(benchmark, lambda: repro.run_ka_coloring(g, a=a, k=2, eps=EPS))
+    benchmark.extra_info["ours_avg_rounds"] = ours.points[-1].avg_mean
+
+
+def test_row_alogstar(benchmark):
+    """T1.R2: O(a log* n) colors in O(a log* n) avg (k = rho(n))."""
+    ours = _series(
+        "O(a log* n)-color (Cor 7.17)",
+        lambda g, a, ids, s: repro.run_ka_coloring(g, a=a, k=None, eps=EPS, ids=ids),
+        SWEEP_MED,
+    )
+    base = _series(
+        "Arb-Color worst-case [8]",
+        lambda g, a, ids, s: repro.run_arb_color_worstcase(g, a=a, eps=EPS, ids=ids),
+        SWEEP_MED,
+    )
+    emit(
+        "table1_row_alogstar",
+        render_rows("Table 1 row: O(a log* n)-coloring, k=rho(n)", ours, base),
+    )
+    assert ours.fit_avg().at_most("O(log log n)")
+    assert base.points[-1].avg_mean > ours.points[-1].avg_mean
+    g, a = WL(SWEEP_MED[-1], 0)
+    time_once(benchmark, lambda: repro.run_ka_coloring(g, a=a, eps=EPS))
+
+
+def test_row_one_plus_eta(benchmark):
+    """T1.R3: O(a^{1+eta}) colors in O(log a log log n) avg vs
+    O(log a log n) worst [5] (Legal-Coloring)."""
+    wl = make_workload("forest_union_a5")
+    ours = sweep(
+        "One-Plus-Eta (7.8)",
+        lambda g, a, ids, s: repro.run_one_plus_eta_coloring(g, a=a, C=3, ids=ids),
+        wl,
+        SWEEP_SLOW,
+        seeds=2,
+        colors_of=lambda r: r.colors_used,
+    )
+    base = sweep(
+        "Legal-Coloring worst-case [5]",
+        lambda g, a, ids, s: repro.run_legal_coloring(g, a=a, p=4, ids=ids),
+        wl,
+        SWEEP_SLOW,
+        seeds=2,
+        colors_of=lambda r: r.colors_used,
+    )
+    emit(
+        "table1_row_one_plus_eta",
+        render_rows("Table 1 row: O(a^{1+eta})-coloring", ours, base),
+    )
+    # both use few colors; ours must not be slower-growing than the baseline
+    assert ours.points[-1].colors < 5 * 5  # sub-a^2 colors
+    g, a = wl(SWEEP_SLOW[-1], 0)
+    time_once(benchmark, lambda: repro.run_one_plus_eta_coloring(g, a=a, C=3))
+
+
+def test_row_a2logn(benchmark):
+    """T1.R4: O(a^2 log n) colors in O(1) avg vs Omega(log n /
+    (log a + log log n)) worst [8]."""
+    ours = _series(
+        "O(a^2 log n)-color (7.2)",
+        lambda g, a, ids, s: repro.run_a2logn_coloring(g, a=a, eps=EPS, ids=ids),
+        SWEEP_FAST,
+    )
+    base = _series(
+        "Forest-Dec + Arb-Linial worst-case [8]",
+        lambda g, a, ids, s: repro.run_arb_linial_worstcase(g, a=a, eps=EPS, ids=ids),
+        SWEEP_FAST,
+    )
+    emit("table1_row_a2logn", render_rows("Table 1 row: O(a^2 log n)-coloring", ours, base))
+    assert ours.fit_avg().at_most("O(log* n)")  # O(1): flat at feasible n
+    assert base.fit_avg().grows_at_least("O(log log n)")
+    assert base.points[-1].avg_mean / ours.points[-1].avg_mean > 4
+    g, a = WL(SWEEP_FAST[-1], 0)
+    time_once(benchmark, lambda: repro.run_a2logn_coloring(g, a=a, eps=EPS))
+
+
+def test_row_ka2(benchmark):
+    """T1.R5: O(k a^2) colors in O(log^(k) n) avg vs O(log n) worst [8]."""
+    rows = []
+    for k in (2, 3):
+        ours = _series(
+            f"O(ka^2)-color k={k} (7.6)",
+            lambda g, a, ids, s, k=k: repro.run_ka2_coloring(
+                g, a=a, k=k, eps=EPS, ids=ids
+            ),
+            SWEEP_MED,
+        )
+        rows.append(ours)
+        assert ours.fit_avg().at_most("O(log log n)")
+    base = _series(
+        "Arb-Linial worst-case [8]",
+        lambda g, a, ids, s: repro.run_arb_linial_worstcase(g, a=a, eps=EPS, ids=ids),
+        SWEEP_MED,
+    )
+    text = "\n\n".join(
+        render_rows(f"Table 1 row: O(ka^2)-coloring ({r.label})", r, base)
+        for r in rows
+    )
+    emit("table1_row_ka2", text)
+    assert base.points[-1].avg_mean > rows[0].points[-1].avg_mean
+    g, a = WL(SWEEP_MED[-1], 0)
+    time_once(benchmark, lambda: repro.run_ka2_coloring(g, a=a, k=2, eps=EPS))
+
+
+def test_row_a2logstar(benchmark):
+    """T1.R6: O(a^2 log* n) colors in O(log* n) avg (k = rho(n)) vs
+    O(log n) worst [8]."""
+    ours = _series(
+        "O(a^2 log* n)-color (Cor 7.14)",
+        lambda g, a, ids, s: repro.run_ka2_coloring(g, a=a, k=None, eps=EPS, ids=ids),
+        SWEEP_MED,
+    )
+    base = _series(
+        "Arb-Linial worst-case [8]",
+        lambda g, a, ids, s: repro.run_arb_linial_worstcase(g, a=a, eps=EPS, ids=ids),
+        SWEEP_MED,
+    )
+    emit(
+        "table1_row_a2logstar",
+        render_rows("Table 1 row: O(a^2 log* n)-coloring, k=rho(n)", ours, base),
+    )
+    assert ours.fit_avg().at_most("O(log* n)")
+    assert base.fit_avg().grows_at_least("O(log log n)")
+    g, a = WL(SWEEP_MED[-1], 0)
+    time_once(benchmark, lambda: repro.run_ka2_coloring(g, a=a, eps=EPS))
+
+
+def test_row_delta_plus_one_det(benchmark):
+    """T1.R7: Delta+1 colors, deterministic: avg depends on a, not Delta
+    (substituted subroutine, DESIGN.md #1) vs the whole-graph worst-case
+    algorithm."""
+    wl = make_workload("caterpillar")  # Delta = 17, a = 1
+    ours = sweep(
+        "Delta+1 via extension (8.3)",
+        lambda g, a, ids, s: repro.run_delta_plus_one_coloring(g, a=a, ids=ids),
+        wl,
+        SWEEP_MED,
+        seeds=2,
+        colors_of=lambda r: r.colors_used,
+    )
+    base = sweep(
+        "Delta+1 whole-graph worst-case",
+        lambda g, a, ids, s: repro.run_delta_plus_one_worstcase(g, ids=ids),
+        wl,
+        SWEEP_MED,
+        seeds=2,
+        colors_of=lambda r: r.colors_used,
+    )
+    emit(
+        "table1_row_delta_plus_one_det",
+        render_rows("Table 1 row: (Delta+1)-coloring, Det., Delta >> a", ours, base),
+    )
+    assert ours.fit_avg().at_most("O(log log n)")
+    assert ours.points[-1].avg_mean < 10  # a = 1: constant-ish
+    g, a = wl(SWEEP_MED[-1], 0)
+    time_once(benchmark, lambda: repro.run_delta_plus_one_coloring(g, a=a))
+
+
+def test_row_delta_plus_one_rand(benchmark):
+    """T1.R8: Delta+1, randomized: O(1) avg w.h.p. while the same
+    executions' worst case grows (Theorem 9.1)."""
+    ours = sweep(
+        "Rand-Delta-Plus1 (9.2)",
+        lambda g, a, ids, s: repro.run_rand_delta_plus_one(g, ids=ids, seed=s),
+        WL,
+        SWEEP_FAST,
+        seeds=3,
+        colors_of=lambda r: r.colors_used,
+    )
+    emit(
+        "table1_row_delta_plus_one_rand",
+        render_rows("Table 1 row: (Delta+1)-coloring, Rand.", ours)
+        + f"\nworst-case series (same executions): "
+        + ", ".join(f"{p.worst_mean:.1f}" for p in ours.points),
+    )
+    assert ours.fit_avg().at_most("O(log* n)")
+    assert ours.final_gap() > 3  # avg << worst on the same runs
+    g, a = WL(SWEEP_FAST[-1], 0)
+    time_once(benchmark, lambda: repro.run_rand_delta_plus_one(g, seed=0))
+
+
+def test_row_aloglogn_rand(benchmark):
+    """T1.R9: O(a log log n) colors in O(1) avg w.h.p. (Theorem 9.2) vs
+    the deterministic O(a log n)-flavoured worst case."""
+    ours = _series(
+        "O(a loglog n)-color Rand. (9.3)",
+        lambda g, a, ids, s: repro.run_aloglogn_coloring(g, a=a, eps=EPS, ids=ids, seed=s),
+        SWEEP_FAST,
+        seeds=3,
+    )
+    base = _series(
+        "Arb-Color worst-case [8]",
+        lambda g, a, ids, s: repro.run_arb_color_worstcase(g, a=a, eps=EPS, ids=ids),
+        SWEEP_FAST,
+    )
+    emit(
+        "table1_row_aloglogn_rand",
+        render_rows("Table 1 row: O(a log log n)-coloring, Rand.", ours, base),
+    )
+    assert ours.fit_avg().at_most("O(log* n)")
+    assert base.points[-1].avg_mean / ours.points[-1].avg_mean > 2
+    g, a = WL(SWEEP_FAST[-1], 0)
+    time_once(benchmark, lambda: repro.run_aloglogn_coloring(g, a=a, eps=EPS, seed=0))

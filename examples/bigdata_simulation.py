@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Large-scale network simulation (paper Section 1.2, third motivation).
+
+"A distributed execution of a large-scale network is simulated by a
+smaller number of processors, or just by a single processor ... a
+complexity measure that takes into account the *sum* of rounds is of great
+interest."
+
+Our round engine is exactly such a single-processor simulator, and its
+work is proportional to RoundSum(V): simulating a vertex-averaged O(1)
+algorithm costs O(n) vertex-steps regardless of the worst case.  This
+example simulates the same coloring task under both disciplines and
+reports simulated vertex-steps *and* the simulator's actual wall-clock --
+the measure predicting the machine time is the point.
+
+Run:  python examples/bigdata_simulation.py
+"""
+
+import time
+
+from repro import generators, run_a2logn_coloring, run_arb_linial_worstcase
+
+
+def simulate(label, fn):
+    t0 = time.perf_counter()
+    res = fn()
+    wall = time.perf_counter() - t0
+    m = res.metrics
+    print(f"{label:28s}: RoundSum = {m.round_sum:9d} vertex-steps | "
+          f"avg {m.vertex_averaged:6.2f} | worst {m.worst_case:3d} | "
+          f"wall {wall:6.2f}s")
+    return m.round_sum, wall
+
+
+def main() -> None:
+    a = 3
+    print("simulating an O(a^2 log n)-coloring under both schedules\n")
+    for n in (4000, 16000, 64000):
+        g = generators.union_of_forests(n, a, seed=7)
+        ids = generators.random_ids(n, seed=8)
+        print(f"-- n = {n} --")
+        s1, w1 = simulate(
+            "vertex-averaged (Thm 7.2)",
+            lambda: run_a2logn_coloring(g, a=a, ids=ids),
+        )
+        s2, w2 = simulate(
+            "worst-case schedule ([8])",
+            lambda: run_arb_linial_worstcase(g, a=a, ids=ids),
+        )
+        print(f"{'':28s}  simulation work saved: x{s2 / s1:.1f} "
+              f"(wall-clock: x{w2 / max(w1, 1e-9):.1f})\n")
+    print("RoundSum -- n times the vertex-averaged complexity -- is the "
+          "quantity a simulator actually pays; minimizing it is the "
+          "paper's third motivation.")
+
+
+if __name__ == "__main__":
+    main()

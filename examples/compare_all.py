@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Leaderboard: every algorithm in the suite on one shared workload.
+
+Shows the paper's palette/rounds trade-off space at a glance: the
+O(a)-flavoured palettes cost more rounds than the O(a^2 log n) ones, the
+randomized algorithms are round-cheapest, and every worst-case baseline
+pays the Theta(log n) schedule.
+
+Run:  python examples/compare_all.py
+"""
+
+import time
+
+import repro
+from repro.bench import render_table
+from repro.graphs import generators as gen
+
+N, A, SEED = 3000, 3, 0
+
+
+def main() -> None:
+    g = gen.union_of_forests(N, A, seed=SEED)
+    ids = gen.random_ids(N, seed=SEED + 1)
+    print(f"workload: {g}, arboricity <= {A}, Delta = {g.max_degree()}\n")
+
+    entries = [
+        ("Partition (6.1)", lambda: repro.run_partition(g, a=A, ids=ids), None),
+        ("Forest-Dec (7.1)", lambda: repro.run_parallelized_forest_decomposition(g, a=A, ids=ids), None),
+        ("O(a^2 log n)-color (7.2)", lambda: repro.run_a2logn_coloring(g, a=A, ids=ids), "colors"),
+        ("O(a^2)-color (7.3)", lambda: repro.run_a2_coloring(g, a=A, ids=ids), "colors"),
+        ("O(a)-color (7.4)", lambda: repro.run_oa_coloring(g, a=A, ids=ids), "colors"),
+        ("O(ka^2)-color k=2 (7.6)", lambda: repro.run_ka2_coloring(g, a=A, k=2, ids=ids), "colors"),
+        ("O(ka)-color k=2 (7.7)", lambda: repro.run_ka_coloring(g, a=A, k=2, ids=ids), "colors"),
+        ("One-Plus-Eta (7.8)", lambda: repro.run_one_plus_eta_coloring(g, a=A, C=3, ids=ids), "colors"),
+        ("(Delta+1)-color (8.3)", lambda: repro.run_delta_plus_one_coloring(g, a=A, ids=ids), "colors"),
+        ("MIS (8.4)", lambda: repro.run_mis(g, a=A, ids=ids), None),
+        ("(2D-1)-edge-color (8.6)", lambda: repro.run_edge_coloring(g, a=A, ids=ids), "colors"),
+        ("Matching (8.8)", lambda: repro.run_maximal_matching(g, a=A, ids=ids), None),
+        ("Rand (Delta+1) (9.2)", lambda: repro.run_rand_delta_plus_one(g, ids=ids, seed=SEED), "colors"),
+        ("Rand O(a loglog n) (9.3)", lambda: repro.run_aloglogn_coloring(g, a=A, ids=ids, seed=SEED), "colors"),
+        ("-- baseline: Arb-Linial wc [8]", lambda: repro.run_arb_linial_worstcase(g, a=A, ids=ids), "colors"),
+        ("-- baseline: Arb-Color wc [8]", lambda: repro.run_arb_color_worstcase(g, a=A, ids=ids), "colors"),
+        ("-- baseline: Luby MIS", lambda: repro.run_luby_mis(g, ids=ids, seed=SEED), None),
+    ]
+
+    rows = []
+    for label, fn, kind in entries:
+        t0 = time.perf_counter()
+        res = fn()
+        wall = time.perf_counter() - t0
+        m = res.metrics
+        colors = getattr(res, "colors_used", "-") if kind else "-"
+        rows.append(
+            [
+                label,
+                f"{m.vertex_averaged:.2f}",
+                m.worst_case,
+                m.quantile(0.5),
+                colors,
+                f"{wall:.2f}s",
+            ]
+        )
+    print(
+        render_table(
+            f"all algorithms, n={N}, a={A}",
+            ["algorithm", "avg rounds", "worst", "median", "colors", "sim wall"],
+            rows,
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Task pipelining (paper Section 1.2, second motivation).
+
+A job consists of two subtasks A then B.  With a barrier between them,
+every processor waits for the slowest to finish A.  If instead each
+processor starts B the moment *it* finishes A (asynchronous start), the
+completion time of processor v is r_A(v) + T_B(v) -- and when the
+vertex-averaged complexity of A is o(worst case), the majority of the
+network finishes dramatically earlier.
+
+Here A = maximal independent set (Corollary 8.4) and B = a fixed 10-round
+local aggregation; we compare the completion-time distribution of the two
+schedules.
+
+Run:  python examples/pipeline_scheduling.py
+"""
+
+from repro import generators, run_mis
+from repro.verify import assert_maximal_independent_set
+
+T_B = 10  # rounds of subtask B per vertex
+
+
+def quantiles(values, qs=(0.5, 0.9, 0.99, 1.0)):
+    ordered = sorted(values)
+    out = []
+    for q in qs:
+        idx = min(len(ordered) - 1, max(0, int(q * len(ordered)) - (1 if q == 1.0 else 0)))
+        out.append(ordered[idx])
+    return out
+
+
+def main() -> None:
+    n, a = 8000, 3
+    g = generators.union_of_forests(n, a, seed=5)
+    ids = generators.random_ids(n, seed=6)
+
+    res = run_mis(g, a=a, ids=ids)
+    assert_maximal_independent_set(g, res.mis)
+    r_a = res.metrics.rounds
+    t_a_worst = res.metrics.worst_case
+
+    async_completion = [r + T_B for r in r_a]
+    barrier_completion = [t_a_worst + T_B] * n
+
+    print(f"network: {g}; subtask A = MIS, subtask B = {T_B} rounds\n")
+    print(f"A: vertex-averaged {res.metrics.vertex_averaged:.2f} rounds, "
+          f"worst case {t_a_worst} rounds\n")
+    header = f"{'schedule':22s} {'p50':>6s} {'p90':>6s} {'p99':>6s} {'max':>6s} {'mean':>8s}"
+    print(header)
+    print("-" * len(header))
+    for label, comp in (("asynchronous start", async_completion),
+                        ("barrier between A, B", barrier_completion)):
+        p50, p90, p99, mx = quantiles(comp)
+        mean = sum(comp) / len(comp)
+        print(f"{label:22s} {p50:6d} {p90:6d} {p99:6d} {mx:6d} {mean:8.2f}")
+
+    p50_async = quantiles(async_completion)[0]
+    p50_barrier = quantiles(barrier_completion)[0]
+    frac_early = sum(1 for c in async_completion if c < p50_barrier) / n
+    print(f"\nmedian speedup: x{p50_barrier / p50_async:.2f}; "
+          f"{100 * frac_early:.1f}% of processors finish before the barrier "
+          f"schedule lets anyone finish.")
+    print("(The worst-case completion is identical -- the gain is for the "
+          "majority, which is what the vertex-averaged measure captures.)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,16 @@
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Distributed symmetry-breaking with improved vertex-averaged "
+        "complexity (Barenboim & Tzur, SPAA 2018): LOCAL-model simulator, "
+        "algorithms, baselines and benchmarks"
+    ),
+    python_requires=">=3.10",
+    install_requires=["numpy", "networkx"],
+    extras_require={"test": ["pytest", "pytest-benchmark", "hypothesis", "scipy"]},
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+)

@@ -1,0 +1,99 @@
+"""repro -- Distributed Symmetry-Breaking with Improved Vertex-Averaged
+Complexity (Barenboim & Tzur, SPAA 2018).
+
+A LOCAL-model simulator plus the paper's full algorithm suite:
+
+>>> from repro import generators, run_partition
+>>> g = generators.union_of_forests(1000, a=3, seed=0)
+>>> result = run_partition(g, a=3)
+>>> result.metrics.vertex_averaged < result.metrics.worst_case
+True
+
+Public API re-exports the main drivers; see DESIGN.md for the map from
+paper sections to modules.
+"""
+
+from repro.graphs import (
+    Graph,
+    Orientation,
+    generators,
+    arboricity_exact,
+    degeneracy,
+    partition_into_forests,
+)
+from repro.runtime import RoundMetrics, SyncNetwork
+from repro.core.partition import run_partition, compose_with_algorithm
+from repro.core.forests import (
+    run_parallelized_forest_decomposition,
+    run_worstcase_forest_decomposition,
+)
+from repro.core.coloring import (
+    run_a2logn_coloring,
+    run_a2_coloring,
+    run_oa_coloring,
+)
+from repro.core.segmentation import (
+    run_ka2_coloring,
+    run_ka_coloring,
+    make_segment_plan,
+    segmentation_trace,
+)
+from repro.core.defective import run_arbdefective_coloring, run_defective_coloring
+from repro.core.one_plus_eta import run_one_plus_eta_coloring, run_legal_coloring
+from repro.core.extension import run_delta_plus_one_coloring, run_mis
+from repro.core.edgealgo import run_edge_coloring, run_maximal_matching
+from repro.core.randomized import run_rand_delta_plus_one, run_aloglogn_coloring
+from repro.baselines import (
+    run_linial_coloring,
+    run_delta_plus_one_worstcase,
+    run_luby_mis,
+    run_ring_three_coloring,
+    run_arb_linial_worstcase,
+    run_arb_color_worstcase,
+)
+from repro.analysis import fit_shape, ilog, log_star, rho
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Graph",
+    "Orientation",
+    "RoundMetrics",
+    "SyncNetwork",
+    "generators",
+    "arboricity_exact",
+    "degeneracy",
+    "partition_into_forests",
+    "run_partition",
+    "compose_with_algorithm",
+    "run_parallelized_forest_decomposition",
+    "run_worstcase_forest_decomposition",
+    "run_a2logn_coloring",
+    "run_a2_coloring",
+    "run_oa_coloring",
+    "run_ka2_coloring",
+    "run_ka_coloring",
+    "make_segment_plan",
+    "segmentation_trace",
+    "run_defective_coloring",
+    "run_arbdefective_coloring",
+    "run_one_plus_eta_coloring",
+    "run_legal_coloring",
+    "run_delta_plus_one_coloring",
+    "run_mis",
+    "run_edge_coloring",
+    "run_maximal_matching",
+    "run_rand_delta_plus_one",
+    "run_aloglogn_coloring",
+    "run_linial_coloring",
+    "run_delta_plus_one_worstcase",
+    "run_luby_mis",
+    "run_ring_three_coloring",
+    "run_arb_linial_worstcase",
+    "run_arb_color_worstcase",
+    "fit_shape",
+    "ilog",
+    "log_star",
+    "rho",
+    "__version__",
+]

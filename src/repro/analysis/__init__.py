@@ -1,0 +1,6 @@
+"""Analysis utilities: iterated logarithms and complexity-shape fitting."""
+
+from repro.analysis.logstar import ilog, iterated_log, log_star, rho
+from repro.analysis.fitting import fit_shape, ShapeFit
+
+__all__ = ["ilog", "iterated_log", "log_star", "rho", "fit_shape", "ShapeFit"]

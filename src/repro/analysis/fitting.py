@@ -1,0 +1,114 @@
+"""Complexity-shape fitting.
+
+The benchmarks measure series (n, rounds) and must answer the paper-shaped
+question "is this O(1) / O(log* n) / O(log log n) / O(log n) / poly(n)?".
+We fit y ~ alpha * f(n) + beta for every candidate shape f by least squares
+(alpha clamped non-negative) and pick the *simplest* shape whose residual is
+within a tolerance of the best, so that e.g. a flat series is reported as
+constant rather than as log* n with a microscopic slope.
+
+Caveat inherited from the problem domain: at laptop-feasible n, log* n is
+indistinguishable from a constant (it is 4 or 5 for every n between 2^16 and
+2^65536); EXPERIMENTS.md reports both labels together where they tie.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import log2, sqrt
+from typing import Callable, Sequence
+
+from repro.analysis.logstar import ilog, log_star
+
+#: candidate shapes, ordered from simplest to fastest-growing
+SHAPES: list[tuple[str, Callable[[float], float]]] = [
+    ("O(1)", lambda n: 1.0),
+    ("O(log* n)", lambda n: float(log_star(n))),
+    ("O(log log n)", lambda n: max(ilog(n, 2), 0.0)),
+    ("O(log n)", lambda n: max(log2(n), 0.0)),
+    ("O(sqrt n)", lambda n: sqrt(n)),
+    ("O(n)", lambda n: float(n)),
+]
+
+_ORDER = {name: i for i, (name, _) in enumerate(SHAPES)}
+
+
+@dataclass(frozen=True)
+class ShapeFit:
+    """The result of fitting a measured series to the shape library."""
+
+    shape: str
+    alpha: float
+    beta: float
+    residual: float
+    residuals: dict[str, float]
+
+    def at_most(self, shape: str) -> bool:
+        """Whether the fitted shape grows no faster than ``shape``."""
+        return _ORDER[self.shape] <= _ORDER[shape]
+
+    def grows_at_least(self, shape: str) -> bool:
+        """Whether the fitted shape grows at least as fast as ``shape``."""
+        return _ORDER[self.shape] >= _ORDER[shape]
+
+
+def _lstsq(xs: Sequence[float], ys: Sequence[float]) -> tuple[float, float, float]:
+    """One-feature least squares with intercept, slope clamped to >= 0.
+    Returns (alpha, beta, rms residual)."""
+    n = len(xs)
+    mx = sum(xs) / n
+    my = sum(ys) / n
+    sxx = sum((x - mx) ** 2 for x in xs)
+    sxy = sum((x - mx) * (y - my) for x, y in zip(xs, ys))
+    alpha = (sxy / sxx) if sxx > 0 else 0.0
+    if alpha < 0:
+        alpha = 0.0
+    beta = my - alpha * mx
+    rss = sum((y - (alpha * x + beta)) ** 2 for x, y in zip(xs, ys))
+    return alpha, beta, sqrt(rss / n)
+
+
+def fit_shape(
+    ns: Sequence[float], ys: Sequence[float], tolerance: float = 0.10
+) -> ShapeFit:
+    """Fit the series (ns, ys) and return the simplest adequate shape.
+
+    ``tolerance``: a simpler shape wins if its residual is within
+    ``(1 + tolerance)`` of the overall best residual plus a small absolute
+    slack (half a round), which absorbs measurement quantisation.
+    """
+    if len(ns) != len(ys) or len(ns) < 2:
+        raise ValueError("need at least two (n, y) points")
+    fits: dict[str, tuple[float, float, float]] = {}
+    for name, f in SHAPES:
+        xs = [f(float(n)) for n in ns]
+        if max(xs) == min(xs):
+            # degenerate feature on this range (e.g. log* n constant):
+            # equivalent to the constant fit.
+            mean = sum(ys) / len(ys)
+            rss = sum((y - mean) ** 2 for y in ys)
+            fits[name] = (0.0, mean, sqrt(rss / len(ys)))
+        else:
+            fits[name] = _lstsq(xs, ys)
+    best = min(r for (_, _, r) in fits.values())
+    budget = best * (1.0 + tolerance) + 0.5
+    for name, _ in SHAPES:  # simplest first
+        alpha, beta, resid = fits[name]
+        if resid <= budget:
+            return ShapeFit(
+                shape=name,
+                alpha=alpha,
+                beta=beta,
+                residual=resid,
+                residuals={k: v[2] for k, v in fits.items()},
+            )
+    raise AssertionError("unreachable: the best fit is always within budget")
+
+
+def growth_factor(ns: Sequence[float], ys: Sequence[float]) -> float:
+    """y(max n) / y(min n): a crude scale-free growth indicator (1.0 means
+    flat).  Guards against zero by flooring measurements at 1."""
+    pairs = sorted(zip(ns, ys))
+    y0 = max(pairs[0][1], 1.0)
+    y1 = max(pairs[-1][1], 1.0)
+    return y1 / y0

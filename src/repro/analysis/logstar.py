@@ -1,0 +1,58 @@
+"""Iterated logarithms: log^(k) n, log* n and the paper's rho(n).
+
+All logarithms are base 2.  The paper's conventions:
+
+* ``log^(k) n`` is the k-times iterated logarithm (log^(0) n = n).
+* ``log* n`` is the number of times log must be applied before the value
+  drops to at most 1.
+* ``rho(n)`` (Section 7.5) is the largest integer such that
+  ``log^(rho(n) - 1) n >= log* n``; it caps the segment count k of the
+  segmentation scheme and satisfies rho(n) = O(log* n).
+"""
+
+from __future__ import annotations
+
+from math import log2
+
+
+def ilog(n: float, k: int) -> float:
+    """log^(k) n, the k-times iterated base-2 logarithm.
+
+    Once the value drops to <= 0 it is clamped at 0 (further logs are
+    undefined; the paper only uses ilog in regimes where it stays >= 1,
+    and clamping keeps schedule formulas total).
+    """
+    x = float(n)
+    for _ in range(k):
+        if x <= 1.0:
+            return 0.0
+        x = log2(x)
+    return max(x, 0.0)
+
+
+def iterated_log(n: float, k: int) -> float:
+    """Alias of :func:`ilog` matching the paper's log^(k) notation."""
+    return ilog(n, k)
+
+
+def log_star(n: float) -> int:
+    """log* n: iterations of log2 until the value is <= 1."""
+    count = 0
+    x = float(n)
+    while x > 1.0:
+        x = log2(x)
+        count += 1
+    return count
+
+
+def rho(n: int) -> int:
+    """The largest k with log^(k-1) n >= log* n (Section 7.5).
+
+    For k = rho(n) the segmentation scheme yields the O(a^2 log* n)- and
+    O(a log* n)-coloring corollaries.  Always >= 1; rho(n) <= log* n.
+    """
+    ls = log_star(n)
+    k = 1
+    while ilog(n, k) >= ls:  # tests k+1 feasibility: log^(k) n >= log* n
+        k += 1
+    return max(1, k)

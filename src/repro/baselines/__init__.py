@@ -1,0 +1,31 @@
+"""Worst-case baseline algorithms: the "previous running time" column of
+Tables 1 and 2.
+
+These reproduce the *shape* of the prior algorithms' executions: the known
+deterministic algorithms spend Theta(log n) rounds in forest-decomposition
+or network-decomposition phases that every vertex sits through, and
+Theta(log* n) in Linial-style color reduction; the classic randomized
+algorithms (Luby) run O(log n) rounds until the last vertex finishes.  For
+all of them the vertex-averaged and worst-case complexities coincide up to
+constants -- which is exactly the gap this paper's algorithms open.
+"""
+
+from repro.baselines.linial import (
+    run_linial_coloring,
+    run_delta_plus_one_worstcase,
+)
+from repro.baselines.luby import run_luby_mis
+from repro.baselines.cole_vishkin import run_ring_three_coloring
+from repro.baselines.worstcase import (
+    run_arb_linial_worstcase,
+    run_arb_color_worstcase,
+)
+
+__all__ = [
+    "run_linial_coloring",
+    "run_delta_plus_one_worstcase",
+    "run_luby_mis",
+    "run_ring_three_coloring",
+    "run_arb_linial_worstcase",
+    "run_arb_color_worstcase",
+]

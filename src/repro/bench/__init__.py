@@ -1,0 +1,17 @@
+"""Benchmark harness: workload builders, sweep runners and paper-table
+renderers shared by ``benchmarks/`` and ``examples/``."""
+
+from repro.bench.workloads import WORKLOADS, Workload, make_workload
+from repro.bench.runner import Series, sweep, summarize
+from repro.bench.tables import render_table, render_rows
+
+__all__ = [
+    "WORKLOADS",
+    "Workload",
+    "make_workload",
+    "Series",
+    "sweep",
+    "summarize",
+    "render_table",
+    "render_rows",
+]

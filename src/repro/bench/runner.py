@@ -1,0 +1,114 @@
+"""Sweep runner: execute an algorithm over an n-sweep of a workload with
+several ID-assignment seeds and collect the paper's quantities.
+
+The vertex-averaged measure maximizes over ID assignments; we approximate
+the max by running ``seeds`` random assignments and reporting both the mean
+and the max over them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.analysis.fitting import ShapeFit, fit_shape
+from repro.bench.workloads import Workload
+from repro.graphs import generators as gen
+
+
+@dataclass
+class SweepPoint:
+    """Measurements at one n of a sweep (mean/max over ID seeds)."""
+
+    n: int
+    avg_mean: float
+    avg_max: float
+    worst_mean: float
+    worst_max: int
+    colors: int | None = None
+    extra: dict = field(default_factory=dict)
+
+
+@dataclass
+class Series:
+    """One algorithm's measured series over an n-sweep."""
+
+    label: str
+    points: list[SweepPoint]
+
+    @property
+    def ns(self) -> list[int]:
+        return [p.n for p in self.points]
+
+    @property
+    def avgs(self) -> list[float]:
+        return [p.avg_mean for p in self.points]
+
+    @property
+    def worsts(self) -> list[float]:
+        return [p.worst_mean for p in self.points]
+
+    def fit_avg(self, tolerance: float = 0.10) -> ShapeFit:
+        return fit_shape(self.ns, self.avgs, tolerance=tolerance)
+
+    def fit_worst(self, tolerance: float = 0.10) -> ShapeFit:
+        return fit_shape(self.ns, self.worsts, tolerance=tolerance)
+
+    def final_gap(self) -> float:
+        """worst / avg at the largest n: the measured benefit of the
+        vertex-averaged view of the same execution."""
+        last = self.points[-1]
+        return last.worst_mean / max(last.avg_mean, 1e-9)
+
+
+RunFn = Callable[..., object]  # driver(graph, a?, ids=..., seed=...) -> result
+
+
+def sweep(
+    label: str,
+    run: Callable[[object, int, Sequence[int], int], object],
+    workload: Workload,
+    ns: Sequence[int],
+    seeds: int = 2,
+    colors_of: Callable[[object], int] | None = None,
+) -> Series:
+    """Run ``run(graph, a, ids, seed)`` across the sweep.
+
+    ``run`` must return an object with a ``metrics`` attribute
+    (:class:`repro.runtime.metrics.RoundMetrics`).
+    """
+    points: list[SweepPoint] = []
+    for n in ns:
+        avgs, worsts, colors = [], [], None
+        for s in range(seeds):
+            g, a = workload(n, seed=s)
+            ids = gen.random_ids(g.n, seed=1000 + s)
+            res = run(g, a, ids, s)
+            m = res.metrics
+            avgs.append(m.vertex_averaged)
+            worsts.append(m.worst_case)
+            if colors_of is not None:
+                c = colors_of(res)
+                colors = c if colors is None else max(colors, c)
+        points.append(
+            SweepPoint(
+                n=n,
+                avg_mean=sum(avgs) / len(avgs),
+                avg_max=max(avgs),
+                worst_mean=sum(worsts) / len(worsts),
+                worst_max=max(worsts),
+                colors=colors,
+            )
+        )
+    return Series(label=label, points=points)
+
+
+def summarize(series: Series) -> str:
+    """One-line summary: fitted shape + endpoint values."""
+    fit = series.fit_avg()
+    first, last = series.points[0], series.points[-1]
+    return (
+        f"{series.label}: avg {first.avg_mean:.2f}@n={first.n} -> "
+        f"{last.avg_mean:.2f}@n={last.n} [{fit.shape}], "
+        f"worst {last.worst_mean:.1f}, gap x{series.final_gap():.1f}"
+    )

@@ -1,0 +1,53 @@
+"""ASCII renderers producing paper-table-shaped output."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.bench.runner import Series
+
+
+def render_table(
+    title: str, header: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Render ``rows`` under ``header`` as an ASCII box table."""
+    cols = len(header)
+    cells = [[str(h) for h in header]] + [
+        [str(c) for c in row] for row in rows
+    ]
+    widths = [max(len(r[i]) for r in cells) for i in range(cols)]
+    rendered = [
+        " | ".join(c.ljust(w) for c, w in zip(row, widths)) for row in cells
+    ]
+    sep = "-" * len(rendered[0])
+    out = [title, sep, rendered[0], sep, *rendered[1:], sep]
+    return "\n".join(out)
+
+
+def render_rows(title: str, ours: Series, baseline: Series | None = None) -> str:
+    """Render a Table 1/2-shaped comparison row: our vertex-averaged series
+    against the baseline's (worst-case-schedule) series."""
+    header = ["n", f"{ours.label} avg", f"{ours.label} worst"]
+    if baseline is not None:
+        header += [f"{baseline.label} avg", f"{baseline.label} worst"]
+    rows = []
+    base_by_n = {p.n: p for p in (baseline.points if baseline else [])}
+    for p in ours.points:
+        row = [p.n, f"{p.avg_mean:.2f}", f"{p.worst_mean:.1f}"]
+        if baseline is not None:
+            bp = base_by_n.get(p.n)
+            row += (
+                [f"{bp.avg_mean:.2f}", f"{bp.worst_mean:.1f}"]
+                if bp
+                else ["-", "-"]
+            )
+        rows.append(row)
+    footer = [f"fitted shape: ours = {ours.fit_avg().shape}"]
+    if baseline is not None:
+        footer.append(f"baseline = {baseline.fit_avg().shape}")
+        last = ours.points[-1]
+        blast = baseline.points[-1]
+        footer.append(
+            f"win at n={last.n}: x{blast.avg_mean / max(last.avg_mean, 1e-9):.1f}"
+        )
+    return render_table(title, header, rows) + "\n" + "; ".join(footer)

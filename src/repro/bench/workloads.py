@@ -1,0 +1,100 @@
+"""Benchmark workloads.
+
+Each named workload is a family ``n -> (graph, a)`` drawn from the graph
+classes the paper's rows quantify over:
+
+* ``forest_union_a{2,3,5}`` -- bounded-arboricity general graphs (the
+  canonical Table 1/2 workload; density close to the prescribed a),
+* ``planar_grid`` -- constant-arboricity planar (a = 2),
+* ``tri_grid`` -- planar with diagonals (a = 3, Delta <= 6),
+* ``caterpillar`` -- trees with Delta >> a (the a-vs-Delta separation),
+* ``star_forest`` -- extreme Delta >> a = 1,
+* ``gnp_sparse`` -- Erdos-Renyi with constant average degree,
+* ``ring`` -- the [12] reference topology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import isqrt
+from typing import Callable
+
+from repro.graphs import generators as gen
+from repro.graphs.graph import Graph
+
+
+@dataclass(frozen=True)
+class Workload:
+    name: str
+    build: Callable[[int, int], tuple[Graph, int]]  # (n, seed) -> (graph, a)
+
+    def __call__(self, n: int, seed: int = 0) -> tuple[Graph, int]:
+        return self.build(n, seed)
+
+
+def _forest_union(a: int):
+    def build(n: int, seed: int) -> tuple[Graph, int]:
+        return gen.union_of_forests(n, a, seed=seed), a
+
+    return build
+
+
+def _grid(n: int, seed: int) -> tuple[Graph, int]:
+    side = max(2, isqrt(n))
+    return gen.grid(side, side), 2
+
+
+def _tri_grid(n: int, seed: int) -> tuple[Graph, int]:
+    side = max(2, isqrt(n))
+    return gen.triangular_grid(side, side), 3
+
+
+def _caterpillar(n: int, seed: int) -> tuple[Graph, int]:
+    legs = 15
+    spine = max(2, n // (legs + 1))
+    return gen.caterpillar(spine, legs), 1
+
+
+def _star_forest(n: int, seed: int) -> tuple[Graph, int]:
+    leaves = 24
+    stars = max(1, n // (leaves + 1))
+    return gen.star_forest(stars, leaves), 1
+
+
+def _gnp_sparse(n: int, seed: int) -> tuple[Graph, int]:
+    g = gen.gnp(n, min(6.0 / max(n - 1, 1), 1.0), seed=seed)
+    from repro.graphs.arboricity import degeneracy
+
+    return g, max(1, degeneracy(g))
+
+
+def _ring(n: int, seed: int) -> tuple[Graph, int]:
+    return gen.ring(max(n, 3)), 2
+
+
+def _deep_tree(n: int, seed: int) -> tuple[Graph, int]:
+    # branching 4 > A = 3 (a = 1, eps = 1): one leaf layer peels per round,
+    # so the partition genuinely takes Theta(log n) rounds.
+    return gen.kary_tree(n, 4), 1
+
+
+WORKLOADS: dict[str, Workload] = {
+    "forest_union_a2": Workload("forest_union_a2", _forest_union(2)),
+    "forest_union_a3": Workload("forest_union_a3", _forest_union(3)),
+    "forest_union_a5": Workload("forest_union_a5", _forest_union(5)),
+    "planar_grid": Workload("planar_grid", _grid),
+    "tri_grid": Workload("tri_grid", _tri_grid),
+    "caterpillar": Workload("caterpillar", _caterpillar),
+    "star_forest": Workload("star_forest", _star_forest),
+    "gnp_sparse": Workload("gnp_sparse", _gnp_sparse),
+    "ring": Workload("ring", _ring),
+    "deep_tree": Workload("deep_tree", _deep_tree),
+}
+
+
+def make_workload(name: str) -> Workload:
+    """Look up a named workload family."""
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        raise KeyError(f"unknown workload {name!r}; known: {sorted(WORKLOADS)}")

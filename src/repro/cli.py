@@ -1,0 +1,203 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list``      algorithms and workloads.
+``run``       run one algorithm on a workload, validate the solution and
+              print the round accounting.
+``compare``   run an averaged algorithm and its worst-case baseline over an
+              n-sweep and print the paper-table-shaped comparison.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+import repro
+from repro.bench import WORKLOADS, make_workload, render_rows, sweep
+from repro.graphs import generators as gen
+from repro import verify
+
+
+def _validate_coloring(g, res):
+    verify.assert_proper_coloring(g, res.colors)
+    return f"proper coloring, {res.colors_used} colors (bound {res.palette_bound})"
+
+
+def _validate_mis(g, res):
+    verify.assert_maximal_independent_set(g, res.mis)
+    return f"maximal independent set, |I| = {len(res.mis)}"
+
+
+def _validate_mm(g, res):
+    verify.assert_maximal_matching(g, res.matching)
+    return f"maximal matching, |M| = {len(res.matching)}"
+
+
+def _validate_ec(g, res):
+    verify.assert_proper_edge_coloring(g, res.edge_colors)
+    return f"proper edge coloring, {res.colors_used} colors (bound {res.palette_bound})"
+
+
+def _validate_partition(g, res):
+    verify.assert_h_partition(g, res.h_index, res.A)
+    return f"H-partition into {res.num_sets} sets (A = {res.A})"
+
+
+#: name -> (driver(graph, a, ids, seed), validator)
+ALGORITHMS: dict[str, tuple[Callable, Callable]] = {
+    "partition": (lambda g, a, ids, s: repro.run_partition(g, a=a, ids=ids), _validate_partition),
+    "a2logn": (lambda g, a, ids, s: repro.run_a2logn_coloring(g, a=a, ids=ids), _validate_coloring),
+    "a2": (lambda g, a, ids, s: repro.run_a2_coloring(g, a=a, ids=ids), _validate_coloring),
+    "oa": (lambda g, a, ids, s: repro.run_oa_coloring(g, a=a, ids=ids), _validate_coloring),
+    "ka2": (lambda g, a, ids, s: repro.run_ka2_coloring(g, a=a, ids=ids), _validate_coloring),
+    "ka": (lambda g, a, ids, s: repro.run_ka_coloring(g, a=a, ids=ids), _validate_coloring),
+    "one-plus-eta": (
+        lambda g, a, ids, s: repro.run_one_plus_eta_coloring(g, a=a, ids=ids),
+        _validate_coloring,
+    ),
+    "delta-plus-one": (
+        lambda g, a, ids, s: repro.run_delta_plus_one_coloring(g, a=a, ids=ids),
+        _validate_coloring,
+    ),
+    "mis": (lambda g, a, ids, s: repro.run_mis(g, a=a, ids=ids), _validate_mis),
+    "edge-coloring": (lambda g, a, ids, s: repro.run_edge_coloring(g, a=a, ids=ids), _validate_ec),
+    "matching": (
+        lambda g, a, ids, s: repro.run_maximal_matching(g, a=a, ids=ids),
+        _validate_mm,
+    ),
+    "rand-delta-plus-one": (
+        lambda g, a, ids, s: repro.run_rand_delta_plus_one(g, ids=ids, seed=s),
+        _validate_coloring,
+    ),
+    "aloglogn": (
+        lambda g, a, ids, s: repro.run_aloglogn_coloring(g, a=a, ids=ids, seed=s),
+        _validate_coloring,
+    ),
+}
+
+#: averaged algorithm -> its worst-case baseline, for `compare`
+BASELINES: dict[str, Callable] = {
+    "partition": lambda g, a, ids, s: repro.run_worstcase_forest_decomposition(g, a=a, ids=ids),
+    "a2logn": lambda g, a, ids, s: repro.run_arb_linial_worstcase(g, a=a, ids=ids),
+    "a2": lambda g, a, ids, s: repro.run_arb_linial_worstcase(g, a=a, ids=ids),
+    "ka2": lambda g, a, ids, s: repro.run_arb_linial_worstcase(g, a=a, ids=ids),
+    "oa": lambda g, a, ids, s: repro.run_arb_color_worstcase(g, a=a, ids=ids),
+    "ka": lambda g, a, ids, s: repro.run_arb_color_worstcase(g, a=a, ids=ids),
+    "delta-plus-one": lambda g, a, ids, s: repro.run_delta_plus_one_worstcase(g, ids=ids),
+    "edge-coloring": lambda g, a, ids, s: repro.run_edge_coloring(
+        g, a=a, ids=ids, worstcase_schedule=True
+    ),
+    "matching": lambda g, a, ids, s: repro.run_maximal_matching(
+        g, a=a, ids=ids, worstcase_schedule=True
+    ),
+    "aloglogn": lambda g, a, ids, s: repro.run_arb_color_worstcase(g, a=a, ids=ids),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse CLI definition."""
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Distributed symmetry-breaking with improved "
+        "vertex-averaged complexity (Barenboim & Tzur, SPAA 2018)",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list algorithms and workloads")
+
+    run = sub.add_parser("run", help="run one algorithm and print metrics")
+    run.add_argument("algorithm", choices=sorted(ALGORITHMS))
+    run.add_argument("-n", type=int, default=2000, help="vertex count")
+    run.add_argument(
+        "--workload", default="forest_union_a3", choices=sorted(WORKLOADS)
+    )
+    run.add_argument("--seed", type=int, default=0)
+
+    cmp_ = sub.add_parser(
+        "compare", help="averaged algorithm vs worst-case baseline over an n-sweep"
+    )
+    cmp_.add_argument("algorithm", choices=sorted(BASELINES))
+    cmp_.add_argument(
+        "--workload", default="forest_union_a3", choices=sorted(WORKLOADS)
+    )
+    cmp_.add_argument(
+        "--sweep",
+        default="500,1000,2000,4000",
+        help="comma-separated n values",
+    )
+    cmp_.add_argument("--seeds", type=int, default=2)
+    return p
+
+
+def cmd_list(out=None) -> int:
+    """Print the algorithm and workload registries."""
+    out = out or sys.stdout
+    print("algorithms:", file=out)
+    for name in sorted(ALGORITHMS):
+        star = " (has worst-case baseline for `compare`)" if name in BASELINES else ""
+        print(f"  {name}{star}", file=out)
+    print("workloads:", file=out)
+    for name in sorted(WORKLOADS):
+        print(f"  {name}", file=out)
+    return 0
+
+
+def cmd_run(args, out=None) -> int:
+    """Run one algorithm, validate the solution, print metrics."""
+    out = out or sys.stdout
+    workload = make_workload(args.workload)
+    g, a = workload(args.n, seed=args.seed)
+    ids = gen.random_ids(g.n, seed=args.seed + 1)
+    driver, validator = ALGORITHMS[args.algorithm]
+    res = driver(g, a, ids, args.seed)
+    summary = validator(g, res)
+    m = res.metrics
+    print(f"workload : {args.workload}, {g} (a <= {a}, Delta = {g.max_degree()})", file=out)
+    print(f"algorithm: {args.algorithm}", file=out)
+    print(f"solution : {summary}", file=out)
+    print(
+        f"rounds   : vertex-averaged {m.vertex_averaged:.2f} | "
+        f"worst-case {m.worst_case} | RoundSum {m.round_sum} | "
+        f"median {m.quantile(0.5)}",
+        file=out,
+    )
+    return 0
+
+
+def cmd_compare(args, out=None) -> int:
+    """Sweep an averaged algorithm against its worst-case baseline."""
+    out = out or sys.stdout
+    workload = make_workload(args.workload)
+    ns = [int(x) for x in args.sweep.split(",") if x]
+    driver, _validator = ALGORITHMS[args.algorithm]
+    baseline = BASELINES[args.algorithm]
+    ours = sweep(args.algorithm, driver, workload, ns, seeds=args.seeds)
+    base = sweep("worst-case baseline", baseline, workload, ns, seeds=args.seeds)
+    print(
+        render_rows(
+            f"{args.algorithm} on {args.workload}: vertex-averaged vs worst-case",
+            ours,
+            base,
+        ),
+        file=out,
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return cmd_list()
+    if args.command == "run":
+        return cmd_run(args)
+    if args.command == "compare":
+        return cmd_compare(args)
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

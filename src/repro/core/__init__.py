@@ -1,0 +1,24 @@
+"""The paper's algorithms: symmetry-breaking with improved vertex-averaged
+complexity.
+
+Layout (paper section in parentheses):
+
+* :mod:`repro.core.partition` -- Procedure Partition (6.1) and the
+  composition machinery of Corollary 6.4.
+* :mod:`repro.core.forests` -- Procedure Parallelized-Forest-Decomposition
+  (7.1) and the worst-case Procedure Forest-Decomposition baseline shape.
+* :mod:`repro.core.coverfree` -- polynomial cover-free set systems (the
+  Linial machinery behind Procedure Arb-Linial-Coloring).
+* :mod:`repro.core.arb_linial` -- Procedure Arb-Linial-Coloring (7.2).
+* :mod:`repro.core.coloring` -- the O(a^2 log n) / O(1) (7.2),
+  O(a^2) / O(log log n) (7.3) and O(a) / O(a log log n) (7.4) colorings.
+* :mod:`repro.core.segmentation` -- the general segmentation scheme (7.5)
+  and its O(k a^2) (7.6) and O(k a) (7.7) instantiations.
+* :mod:`repro.core.defective` -- defective colorings, Procedure
+  Partial-Orientation and Procedure H-Arbdefective-Coloring (7.8.1).
+* :mod:`repro.core.one_plus_eta` -- Procedure Legal-Coloring and Procedure
+  One-Plus-Eta-Arb-Col (7.8.2).
+* :mod:`repro.core.extension` -- the extension-from-any-partial-solution
+  framework (8) and its four applications.
+* :mod:`repro.core.randomized` -- the randomized algorithms (9).
+"""

@@ -1,0 +1,211 @@
+"""Polynomial cover-free set systems -- the machinery behind Procedure
+Arb-Linial-Coloring (Section 7.2; Linial [19]; Lemma 3.21 of the
+Barenboim-Elkin book).
+
+For a palette of p current colors and out-degree bound A we need a
+collection J = {F_0, ..., F_{p-1}} of subsets of a small ground set such
+that no F_c is covered by the union of any A other members: then a vertex
+can pick a point of its own set avoided by all of its (at most A) parents,
+and that point is its new color.
+
+Construction (Reed-Solomon style): fix a prime q and a degree bound D with
+q^{D+1} >= p, and identify color c < q^{D+1} with the polynomial P_c over
+F_q whose coefficients are the base-q digits of c.  Let
+
+    F_c = { x * q + P_c(x) : x in F_q }   (a subset of [q^2], |F_c| = q).
+
+Two distinct polynomials agree on at most D points, so A parents can cover
+at most A * D < q points of F_c whenever q > A * D -- a free point always
+exists.  The new palette has q^2 = O(A^2 log p) colors for the best (q, D).
+
+The same object with *coverage slack* d gives defective colorings
+(Section 7.8 machinery): a vertex only needs a point of its set that lies
+in at most d of its neighbors' sets, which exists whenever
+q > A * D / (d + 1); each such choice is shared with at most d neighbors,
+bounding the defect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from math import ceil
+from typing import Iterable, Sequence
+
+
+def is_prime(x: int) -> bool:
+    """Trial-division primality test (field sizes are small)."""
+    if x < 2:
+        return False
+    if x < 4:
+        return True
+    if x % 2 == 0:
+        return False
+    f = 3
+    while f * f <= x:
+        if x % f == 0:
+            return False
+        f += 2
+    return True
+
+
+def next_prime(x: int) -> int:
+    """The smallest prime >= x."""
+    c = max(x, 2)
+    while not is_prime(c):
+        c += 1
+    return c
+
+
+def _int_root_ceil(p: int, k: int) -> int:
+    """ceil(p ** (1/k)) computed exactly with integers."""
+    if p <= 1:
+        return 1
+    lo, hi = 1, p
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if mid**k >= p:
+            hi = mid
+        else:
+            lo = mid + 1
+    return lo
+
+
+@dataclass(frozen=True)
+class PolyFamily:
+    """An A-cover-free (with coverage slack) family of p sets over [q^2]."""
+
+    capacity: int  # p: number of sets (current palette size)
+    A: int  # out-degree / neighbor bound
+    slack: int  # coverage slack d (0 = strictly cover-free)
+    q: int  # field size (prime)
+    degree: int  # polynomial degree bound D
+
+    def __post_init__(self) -> None:
+        if self.q ** (self.degree + 1) < self.capacity:
+            raise ValueError("field too small for the palette")
+        if self.q * (self.slack + 1) <= self.A * self.degree:
+            raise ValueError("cover-freeness condition violated")
+
+    @property
+    def ground_size(self) -> int:
+        """The size of the new palette: q^2."""
+        return self.q * self.q
+
+    def evaluate(self, color: int, x: int) -> int:
+        """P_color(x) over F_q, digits of ``color`` in base q as
+        coefficients."""
+        return _poly_row(self.q, self.degree, color)[x]
+
+    def member_points(self, color: int) -> list[int]:
+        """The set F_color as ground-set points x*q + P(x)."""
+        q = self.q
+        row = _poly_row(q, self.degree, color)
+        return [x * q + row[x] for x in range(q)]
+
+    def pick(self, color: int, neighbor_colors: Iterable[int]) -> int:
+        """A point of F_color lying in at most ``slack`` of the neighbors'
+        sets; with slack 0, a point in none of them.
+
+        Neighbors with the *same* color are skipped: their set is identical
+        and unavoidable (in the strictly cover-free setting the caller
+        guarantees parents have distinct colors; in the defective setting
+        equal-color neighbors are accounted as existing defect).
+        """
+        q = self.q
+        counts = [0] * q
+        mine = _poly_row(q, self.degree, color)
+        for cu in neighbor_colors:
+            if cu == color:
+                continue
+            theirs = _poly_row(q, self.degree, cu)
+            for x in range(q):
+                if theirs[x] == mine[x]:
+                    counts[x] += 1
+        best_x = min(range(q), key=lambda x: (counts[x], x))
+        if counts[best_x] > self.slack:
+            raise AssertionError(
+                "cover-free guarantee violated: too many neighbors "
+                f"({counts[best_x]} > slack {self.slack}); A bound exceeded?"
+            )
+        return best_x * q + mine[best_x]
+
+
+@lru_cache(maxsize=1 << 18)
+def _poly_row(q: int, degree: int, color: int) -> tuple[int, ...]:
+    """P_color evaluated at every x in F_q (Horner over base-q digits of
+    ``color``), memoized: IDs and intermediate colors repeat across every
+    vertex that has to avoid them, making this the simulator's hot path."""
+    coeffs = []
+    c = color
+    for _ in range(degree + 1):
+        coeffs.append(c % q)
+        c //= q
+    coeffs.reverse()
+    out = []
+    for x in range(q):
+        acc = 0
+        for a in coeffs:
+            acc = (acc * x + a) % q
+        out.append(acc)
+    return tuple(out)
+
+
+def build_family(capacity: int, A: int, slack: int = 0) -> PolyFamily:
+    """The cheapest polynomial family for ``capacity`` colors, neighbor
+    bound ``A`` and coverage slack: minimises the new palette q^2 over the
+    polynomial degree D."""
+    if capacity < 1:
+        raise ValueError("capacity must be positive")
+    A = max(A, 1)
+    best: PolyFamily | None = None
+    max_degree = max(1, capacity.bit_length())
+    for D in range(1, max_degree + 1):
+        q_min = (A * D) // (slack + 1) + 1  # q*(slack+1) > A*D
+        q = next_prime(max(q_min, _int_root_ceil(capacity, D + 1), 2))
+        fam = PolyFamily(capacity=capacity, A=A, slack=slack, q=q, degree=D)
+        if best is None or fam.ground_size < best.ground_size:
+            best = fam
+        if q == next_prime(max(q_min, 2)):
+            # Larger D can only raise q_min once the root constraint is slack.
+            break
+    assert best is not None
+    return best
+
+
+def palette_schedule(
+    start_palette: int, A: int, slack: int = 0, max_steps: int = 64
+) -> list[PolyFamily]:
+    """The sequence of families Arb-Linial-Coloring iterates through: the
+    palette shrinks p -> O(A^2 log p) each step until it stops shrinking
+    (fixpoint ~ (2A)^2 = O(A^2)).  Takes O(log* start_palette) steps.
+
+    This schedule is a deterministic function of (ID space, A): common
+    knowledge, so all vertices agree on the number of steps.
+    """
+    schedule: list[PolyFamily] = []
+    p = start_palette
+    for _ in range(max_steps):
+        fam = build_family(p, A, slack)
+        if fam.ground_size >= p:
+            break  # fixpoint reached; a further step would not shrink
+        schedule.append(fam)
+        p = fam.ground_size
+    return schedule
+
+
+def fixpoint_palette(A: int) -> int:
+    """The palette size at the iteration fixpoint: final O(A^2) bound."""
+    sched = palette_schedule(1 << 62, A)
+    return sched[-1].ground_size if sched else 1
+
+
+def colors_after_one_step(id_space: int, A: int) -> int:
+    """Palette size after a single Arb-Linial step from an ID coloring:
+    the O(A^2 log n) of Theorem 7.2."""
+    return build_family(id_space, A).ground_size
+
+
+def steps_to_fixpoint(id_space: int, A: int) -> int:
+    """Number of iterated steps: O(log* id_space)."""
+    return len(palette_schedule(id_space, A))

@@ -1,0 +1,30 @@
+"""Static graph substrate for the LOCAL-model simulator.
+
+This package provides the communication-network representation used by every
+algorithm in :mod:`repro`: an immutable undirected :class:`Graph`, workload
+generators for the graph families the paper quantifies over, exact and
+approximate arboricity machinery (Nash-Williams / degeneracy), and edge
+orientation utilities.
+"""
+
+from repro.graphs.graph import Graph
+from repro.graphs.orientation import Orientation
+from repro.graphs import generators
+from repro.graphs.arboricity import (
+    arboricity_exact,
+    arboricity_upper_bound,
+    degeneracy,
+    nash_williams_lower_bound,
+    partition_into_forests,
+)
+
+__all__ = [
+    "Graph",
+    "Orientation",
+    "generators",
+    "arboricity_exact",
+    "arboricity_upper_bound",
+    "degeneracy",
+    "nash_williams_lower_bound",
+    "partition_into_forests",
+]

@@ -1,0 +1,283 @@
+"""Arboricity machinery.
+
+The arboricity ``a(G)`` is the minimum number of forests that the edge set of
+``G`` can be partitioned into.  Every algorithm in the paper is parameterised
+by ``a``; by the Nash-Williams theorem
+
+    a(G) = max over subgraphs H with >= 2 vertices of ceil(m_H / (n_H - 1)).
+
+This module provides:
+
+* :func:`degeneracy` -- the core number d(G); ``a <= d <= 2a - 1``, computed
+  in O(n + m) and used as the cheap upper bound for large graphs,
+* :func:`nash_williams_lower_bound` -- ceil(m_H / (n_H - 1)) maximised over
+  connected components and cores (a cheap lower bound),
+* :func:`partition_into_forests` -- an exact decision procedure via the
+  Edmonds matroid-union augmenting algorithm on k graphic matroids, which
+  also *returns* the forest partition (so the generators' prescribed
+  arboricity can be certified), and
+* :func:`arboricity_exact` -- exact arboricity by searching k between the
+  bounds.
+
+The exact routine is polynomial but intended for verification-sized graphs
+(thousands of edges); benchmarks on large graphs use the prescribed
+arboricity of the generator or the degeneracy bound.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from math import ceil
+
+from repro.graphs.graph import Graph, canonical_edge
+
+
+def degeneracy(g: Graph) -> int:
+    """The degeneracy (maximum core number) of ``g``, via the linear-time
+    bucket-queue peeling algorithm.
+
+    Satisfies ``a(G) <= degeneracy(G) <= 2 a(G) - 1``.
+    """
+    n = g.n
+    if n == 0:
+        return 0
+    deg = g.degree_sequence()
+    max_deg = max(deg) if deg else 0
+    buckets: list[list[int]] = [[] for _ in range(max_deg + 1)]
+    for v in range(n):
+        buckets[deg[v]].append(v)
+    removed = [False] * n
+    best = 0
+    cur = 0
+    for _ in range(n):
+        while cur <= max_deg and not buckets[cur]:
+            cur += 1
+        # ``cur`` may have been lowered below the true minimum by decrements;
+        # rewind is handled by resetting to the decremented value below.
+        v = None
+        while buckets[cur]:
+            cand = buckets[cur].pop()
+            if not removed[cand] and deg[cand] == cur:
+                v = cand
+                break
+        if v is None:
+            continue
+        best = max(best, cur)
+        removed[v] = True
+        for u in g.neighbors(v):
+            if not removed[u]:
+                deg[u] -= 1
+                buckets[deg[u]].append(u)
+                if deg[u] < cur:
+                    cur = deg[u]
+    return best
+
+
+def degeneracy_ordering(g: Graph) -> list[int]:
+    """A vertex elimination order realising the degeneracy: each vertex has
+    at most ``degeneracy(g)`` neighbors later in the order."""
+    n = g.n
+    deg = g.degree_sequence()
+    removed = [False] * n
+    order: list[int] = []
+    import heapq
+
+    heap = [(deg[v], v) for v in range(n)]
+    heapq.heapify(heap)
+    while heap:
+        d, v = heapq.heappop(heap)
+        if removed[v] or d != deg[v]:
+            continue
+        removed[v] = True
+        order.append(v)
+        for u in g.neighbors(v):
+            if not removed[u]:
+                deg[u] -= 1
+                heapq.heappush(heap, (deg[u], u))
+    return order
+
+
+def nash_williams_lower_bound(g: Graph) -> int:
+    """A lower bound on the arboricity: the Nash-Williams density of the
+    whole graph, of each connected component, and of each k-core."""
+    if g.m == 0:
+        return 0
+    best = 1
+    # Whole components.
+    for comp in g.connected_components():
+        if len(comp) < 2:
+            continue
+        keep = set(comp)
+        m_h = sum(1 for u, v in g.edges() if u in keep and v in keep)
+        best = max(best, ceil(m_h / (len(comp) - 1)))
+    # Cores: peel along a degeneracy ordering and measure the density of
+    # every suffix (each suffix is an induced subgraph).
+    order = degeneracy_ordering(g)
+    alive = set(g.vertices())
+    m_alive = g.m
+    for v in order:
+        m_alive -= sum(1 for u in g.neighbors(v) if u in alive and u != v)
+        alive.discard(v)
+        if len(alive) >= 2 and m_alive > 0:
+            best = max(best, ceil(m_alive / (len(alive) - 1)))
+    return best
+
+
+class _ForestSet:
+    """k edge-disjoint forests over a shared vertex set, supporting the
+    exchange operations of the matroid-union augmenting algorithm."""
+
+    def __init__(self, n: int, k: int) -> None:
+        self.n = n
+        self.k = k
+        # adjacency per forest: forest index -> vertex -> set of neighbors
+        self.adj: list[dict[int, set[int]]] = [dict() for _ in range(k)]
+
+    def _nbrs(self, j: int, v: int) -> set[int]:
+        return self.adj[j].setdefault(v, set())
+
+    def add(self, j: int, e: tuple[int, int]) -> None:
+        u, v = e
+        self._nbrs(j, u).add(v)
+        self._nbrs(j, v).add(u)
+
+    def remove(self, j: int, e: tuple[int, int]) -> None:
+        u, v = e
+        self.adj[j][u].discard(v)
+        self.adj[j][v].discard(u)
+
+    def tree_path(self, j: int, s: int, t: int) -> list[tuple[int, int]] | None:
+        """The unique path from s to t in forest j (as canonical edges), or
+        None if s and t are in different components."""
+        if s == t:
+            return []
+        parent: dict[int, int] = {s: s}
+        queue = deque([s])
+        while queue:
+            v = queue.popleft()
+            for u in self.adj[j].get(v, ()):
+                if u not in parent:
+                    parent[u] = v
+                    if u == t:
+                        path = []
+                        while u != s:
+                            path.append(canonical_edge(u, parent[u]))
+                            u = parent[u]
+                        return path
+                    queue.append(u)
+        return None
+
+    def independent_with(self, j: int, e: tuple[int, int]) -> bool:
+        """Whether forest j stays a forest after adding e (endpoints in
+        different components)."""
+        u, v = e
+        if not self.adj[j].get(u) or not self.adj[j].get(v):
+            return True
+        return self.tree_path(j, u, v) is None
+
+
+def partition_into_forests(
+    g: Graph, k: int, max_steps: int | None = None
+) -> list[list[tuple[int, int]]] | None:
+    """Partition the edges of ``g`` into at most ``k`` forests, or return
+    ``None`` if impossible (i.e. iff ``a(G) > k``).
+
+    Implements the Edmonds matroid-union augmenting algorithm for k graphic
+    matroids: edges are inserted one at a time; when a new edge closes a
+    cycle in every forest, a BFS over the exchange graph finds a sequence of
+    swaps that frees a slot.  If no augmenting sequence exists the edge set
+    is dependent in the union matroid and stays dependent forever, so the
+    whole partition is infeasible.
+    """
+    if k < 1:
+        return None if g.m else [[] for _ in range(max(k, 0))]
+    forests = _ForestSet(g.n, k)
+    owner: dict[tuple[int, int], int] = {}
+
+    for e0 in g.edges():
+        # Fast path: direct insertion.
+        placed = False
+        for j in range(k):
+            if forests.independent_with(j, e0):
+                forests.add(j, e0)
+                owner[e0] = j
+                placed = True
+                break
+        if placed:
+            continue
+        # Exchange-graph BFS from e0.
+        parent_edge: dict[tuple[int, int], tuple[int, int] | None] = {e0: None}
+        insert_forest: dict[tuple[int, int], int] = {}
+        queue = deque([e0])
+        goal: tuple[int, int] | None = None
+        steps = 0
+        while queue and goal is None:
+            x = queue.popleft()
+            for j in range(k):
+                if x in owner and owner[x] == j:
+                    continue
+                u, v = x
+                cycle = forests.tree_path(j, u, v)
+                if cycle is None:
+                    goal = x
+                    insert_forest[x] = j
+                    break
+                for f in cycle:
+                    if f not in parent_edge:
+                        parent_edge[f] = x
+                        # remember which forest the arc x -> f refers to:
+                        # f currently lives in j == owner[f] by construction.
+                        queue.append(f)
+                steps += 1
+                if max_steps is not None and steps > max_steps:
+                    raise RuntimeError("matroid partition exceeded step budget")
+        if goal is None:
+            return None
+        # Apply the augmenting sequence: goal moves into its free forest;
+        # walking back, each predecessor takes the vacated slot.
+        x = goal
+        dest = insert_forest[goal]
+        while x is not None:
+            prev = parent_edge[x]
+            old = owner.get(x)
+            if old is not None:
+                forests.remove(old, x)
+            forests.add(dest, x)
+            owner[x] = dest
+            dest = old  # the slot x vacated
+            x = prev
+    out: list[list[tuple[int, int]]] = [[] for _ in range(k)]
+    for e, j in owner.items():
+        out[j].append(e)
+    return [sorted(f) for f in out]
+
+
+def arboricity_exact(g: Graph) -> int:
+    """The exact arboricity via matroid-union search between the
+    Nash-Williams lower bound and the degeneracy upper bound."""
+    if g.m == 0:
+        return 0
+    lo = max(1, nash_williams_lower_bound(g))
+    hi = max(lo, degeneracy(g))
+    for k in range(lo, hi + 1):
+        if partition_into_forests(g, k) is not None:
+            return k
+    return hi  # unreachable: degeneracy always suffices
+
+
+def arboricity_upper_bound(g: Graph) -> int:
+    """A cheap arboricity upper bound: the degeneracy (a <= d <= 2a - 1).
+    For the empty graph this is 0."""
+    return degeneracy(g)
+
+
+def known_or_estimated_arboricity(g: Graph, exact_limit: int = 4000) -> int:
+    """The paper assumes vertices know ``a``.  Drivers use the exact value on
+    small graphs and the degeneracy upper bound (a valid substitute: all the
+    algorithms remain correct when run with any upper bound on ``a``) on
+    large ones."""
+    if g.m == 0:
+        return 1
+    if g.m <= exact_limit:
+        return arboricity_exact(g)
+    return max(1, degeneracy(g))

@@ -1,0 +1,224 @@
+"""Immutable undirected graphs.
+
+The network graph ``G = (V, E)`` of the distributed message-passing model.
+Vertices are the integers ``0 .. n-1``; symmetry-breaking identifiers (the
+``ID`` assignment ``I`` over which the vertex-averaged complexity measure
+maximizes) are stored separately, so the same topology can be re-run under
+many ID assignments.
+
+The representation is optimised for the access pattern of the round
+simulator: ``neighbors(v)`` is a tuple lookup, ``degree(v)`` is O(1), and
+edge-set membership is O(1) via per-vertex frozensets.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Sequence
+
+
+def canonical_edge(u: int, v: int) -> tuple[int, int]:
+    """Return the canonical ``(min, max)`` form of the undirected edge."""
+    return (u, v) if u < v else (v, u)
+
+
+class Graph:
+    """An immutable, simple, undirected graph on vertices ``0 .. n-1``.
+
+    Parameters
+    ----------
+    n:
+        Number of vertices.
+    edges:
+        Iterable of ``(u, v)`` pairs.  Self-loops are rejected; duplicate
+        edges (in either orientation) are collapsed.
+    """
+
+    __slots__ = ("_n", "_adj", "_adj_sets", "_edges", "_m")
+
+    def __init__(self, n: int, edges: Iterable[tuple[int, int]] = ()) -> None:
+        if n < 0:
+            raise ValueError(f"vertex count must be non-negative, got {n}")
+        self._n = n
+        adj: list[list[int]] = [[] for _ in range(n)]
+        seen: set[tuple[int, int]] = set()
+        for u, v in edges:
+            if u == v:
+                raise ValueError(f"self-loop at vertex {u} is not allowed")
+            if not (0 <= u < n and 0 <= v < n):
+                raise ValueError(f"edge ({u}, {v}) out of range for n={n}")
+            e = canonical_edge(u, v)
+            if e in seen:
+                continue
+            seen.add(e)
+            adj[u].append(v)
+            adj[v].append(u)
+        self._adj: tuple[tuple[int, ...], ...] = tuple(
+            tuple(sorted(nbrs)) for nbrs in adj
+        )
+        self._adj_sets: tuple[frozenset[int], ...] = tuple(
+            frozenset(nbrs) for nbrs in self._adj
+        )
+        self._edges: tuple[tuple[int, int], ...] = tuple(sorted(seen))
+        self._m = len(self._edges)
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of vertices."""
+        return self._n
+
+    @property
+    def m(self) -> int:
+        """Number of edges."""
+        return self._m
+
+    def vertices(self) -> range:
+        """The vertex set as a range object."""
+        return range(self._n)
+
+    def edges(self) -> tuple[tuple[int, int], ...]:
+        """All edges in canonical ``(min, max)`` form, sorted."""
+        return self._edges
+
+    def neighbors(self, v: int) -> tuple[int, ...]:
+        """The sorted neighbors of ``v``."""
+        return self._adj[v]
+
+    def neighbor_set(self, v: int) -> frozenset[int]:
+        """The neighbors of ``v`` as a frozenset (O(1) membership)."""
+        return self._adj_sets[v]
+
+    def degree(self, v: int) -> int:
+        """deg(v): the number of edges incident on ``v``."""
+        return len(self._adj[v])
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether ``{u, v}`` is an edge."""
+        return v in self._adj_sets[u]
+
+    def max_degree(self) -> int:
+        """Delta(G), the maximum degree (0 for the empty graph)."""
+        if self._n == 0:
+            return 0
+        return max(len(nbrs) for nbrs in self._adj)
+
+    def degree_sequence(self) -> list[int]:
+        """All vertex degrees, indexed by vertex."""
+        return [len(nbrs) for nbrs in self._adj]
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+    def subgraph(self, vertices: Iterable[int]) -> tuple["Graph", dict[int, int]]:
+        """The subgraph induced by ``vertices``.
+
+        Returns the induced graph (re-indexed ``0..k-1``) together with the
+        mapping from original vertex to new index.
+        """
+        vs = sorted(set(vertices))
+        index = {v: i for i, v in enumerate(vs)}
+        keep = set(vs)
+        edges = [
+            (index[u], index[v])
+            for u, v in self._edges
+            if u in keep and v in keep
+        ]
+        return Graph(len(vs), edges), index
+
+    def edge_subgraph_degrees(self, vertices: Iterable[int]) -> dict[int, int]:
+        """Degrees of ``vertices`` inside the induced subgraph, without
+        materialising it."""
+        keep = set(vertices)
+        return {
+            v: sum(1 for u in self._adj[v] if u in keep) for v in keep
+        }
+
+    def line_graph_neighbors(self, edge: tuple[int, int]) -> list[tuple[int, int]]:
+        """Edges adjacent to ``edge`` in the line graph (sharing an endpoint)."""
+        u, v = edge
+        out: list[tuple[int, int]] = []
+        for w in self._adj[u]:
+            if w != v:
+                out.append(canonical_edge(u, w))
+        for w in self._adj[v]:
+            if w != u:
+                out.append(canonical_edge(v, w))
+        return out
+
+    def connected_components(self) -> list[list[int]]:
+        """Connected components as sorted vertex lists (iterative DFS)."""
+        seen = [False] * self._n
+        comps: list[list[int]] = []
+        for s in range(self._n):
+            if seen[s]:
+                continue
+            stack = [s]
+            seen[s] = True
+            comp = []
+            while stack:
+                v = stack.pop()
+                comp.append(v)
+                for u in self._adj[v]:
+                    if not seen[u]:
+                        seen[u] = True
+                        stack.append(u)
+            comps.append(sorted(comp))
+        return comps
+
+    def is_forest(self) -> bool:
+        """Whether the graph is acyclic (a forest)."""
+        return self._m == self._n - len(self.connected_components())
+
+    # ------------------------------------------------------------------
+    # Interop
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_networkx(cls, g) -> "Graph":
+        """Build from a :mod:`networkx` graph with arbitrary hashable nodes.
+
+        Nodes are relabelled ``0..n-1`` in sorted-by-string order.
+        """
+        nodes = sorted(g.nodes(), key=str)
+        index = {node: i for i, node in enumerate(nodes)}
+        return cls(len(nodes), ((index[u], index[v]) for u, v in g.edges()))
+
+    def to_networkx(self):
+        """Convert to a :class:`networkx.Graph`."""
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_nodes_from(range(self._n))
+        g.add_edges_from(self._edges)
+        return g
+
+    @classmethod
+    def from_adjacency(cls, adj: Mapping[int, Sequence[int]] | Sequence[Sequence[int]]) -> "Graph":
+        """Build from an adjacency mapping or list."""
+        if isinstance(adj, Mapping):
+            n = (max(adj) + 1) if adj else 0
+            items: Iterator[tuple[int, Sequence[int]]] = iter(adj.items())
+        else:
+            n = len(adj)
+            items = iter(enumerate(adj))
+        edges = []
+        for v, nbrs in items:
+            n = max(n, v + 1, *(u + 1 for u in nbrs)) if nbrs else max(n, v + 1)
+            for u in nbrs:
+                edges.append((v, u))
+        return cls(n, edges)
+
+    # ------------------------------------------------------------------
+    # Dunder
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return self._n == other._n and self._edges == other._edges
+
+    def __hash__(self) -> int:
+        return hash((self._n, self._edges))
+
+    def __repr__(self) -> str:
+        return f"Graph(n={self._n}, m={self._m})"

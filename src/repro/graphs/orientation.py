@@ -1,0 +1,175 @@
+"""Edge orientations (Section 5 of the paper).
+
+An orientation assigns a direction to every (or some) edge of an undirected
+graph.  The paper's algorithms produce *acyclic* orientations and reason
+about two parameters:
+
+* the **out-degree**: the maximum number of edges directed away from any
+  vertex (the forest-decomposition machinery guarantees out-degree
+  ``A = (2 + eps) a``), and
+* the **length**: the number of edges on the longest directed path (which
+  bounds the running time of the "wait for your parents" recoloring waves).
+
+For an edge oriented ``u -> v``, ``v`` is the *parent* of ``u`` and ``u`` is
+the *child* of ``v`` -- matching the paper's convention.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Mapping
+
+from repro.graphs.graph import Graph, canonical_edge
+
+
+class Orientation:
+    """A (possibly partial) orientation of the edges of a graph.
+
+    Stored as a mapping from canonical edge ``(min, max)`` to its *head*
+    (the endpoint the edge points towards).
+    """
+
+    __slots__ = ("graph", "_head")
+
+    def __init__(self, graph: Graph, head_of: Mapping[tuple[int, int], int] | None = None):
+        self.graph = graph
+        self._head: dict[tuple[int, int], int] = {}
+        if head_of:
+            for e, h in head_of.items():
+                self.orient(e[0], e[1], h)
+
+    # ------------------------------------------------------------------
+    def orient(self, u: int, v: int, head: int) -> None:
+        """Orient the edge {u, v} towards ``head`` (which must be u or v)."""
+        e = canonical_edge(u, v)
+        if not self.graph.has_edge(u, v):
+            raise ValueError(f"({u}, {v}) is not an edge")
+        if head not in e:
+            raise ValueError(f"head {head} is not an endpoint of {e}")
+        self._head[e] = head
+
+    def head(self, u: int, v: int) -> int | None:
+        """The head of edge {u, v}, or None if unoriented."""
+        return self._head.get(canonical_edge(u, v))
+
+    def is_oriented(self, u: int, v: int) -> bool:
+        return canonical_edge(u, v) in self._head
+
+    def oriented_edges(self) -> Iterable[tuple[int, int]]:
+        """All oriented edges as (tail, head) pairs."""
+        for (a, b), h in self._head.items():
+            yield ((b, a) if h == a else (a, b))
+
+    def num_oriented(self) -> int:
+        return len(self._head)
+
+    def is_total(self) -> bool:
+        """Whether every edge of the graph is oriented."""
+        return len(self._head) == self.graph.m
+
+    # ------------------------------------------------------------------
+    def parents(self, v: int) -> list[int]:
+        """Neighbors that edges of v point *towards* (v's out-neighbors)."""
+        out = []
+        for u in self.graph.neighbors(v):
+            h = self._head.get(canonical_edge(u, v))
+            if h == u:
+                out.append(u)
+        return out
+
+    def children(self, v: int) -> list[int]:
+        """Neighbors whose edges point towards v (v's in-neighbors)."""
+        out = []
+        for u in self.graph.neighbors(v):
+            h = self._head.get(canonical_edge(u, v))
+            if h == v:
+                out.append(u)
+        return out
+
+    def out_degree(self, v: int) -> int:
+        return len(self.parents(v))
+
+    def max_out_degree(self) -> int:
+        """The out-degree of the orientation (paper: mu-out-degree)."""
+        if self.graph.n == 0:
+            return 0
+        return max(self.out_degree(v) for v in self.graph.vertices())
+
+    # ------------------------------------------------------------------
+    def _out_adj(self) -> list[list[int]]:
+        adj: list[list[int]] = [[] for _ in range(self.graph.n)]
+        for tail, head in self.oriented_edges():
+            adj[tail].append(head)
+        return adj
+
+    def is_acyclic(self) -> bool:
+        """Whether the oriented part contains no consistently oriented cycle
+        (Kahn's algorithm on the directed subgraph)."""
+        n = self.graph.n
+        adj = self._out_adj()
+        indeg = [0] * n
+        for v in range(n):
+            for u in adj[v]:
+                indeg[u] += 1
+        queue = deque(v for v in range(n) if indeg[v] == 0)
+        seen = 0
+        while queue:
+            v = queue.popleft()
+            seen += 1
+            for u in adj[v]:
+                indeg[u] -= 1
+                if indeg[u] == 0:
+                    queue.append(u)
+        return seen == n
+
+    def length(self) -> int:
+        """The length of the longest directed path (edges), for acyclic
+        orientations.  Raises ValueError on cyclic orientations."""
+        n = self.graph.n
+        adj = self._out_adj()
+        indeg = [0] * n
+        for v in range(n):
+            for u in adj[v]:
+                indeg[u] += 1
+        queue = deque(v for v in range(n) if indeg[v] == 0)
+        dist = [0] * n
+        seen = 0
+        best = 0
+        while queue:
+            v = queue.popleft()
+            seen += 1
+            for u in adj[v]:
+                if dist[v] + 1 > dist[u]:
+                    dist[u] = dist[v] + 1
+                    best = max(best, dist[u])
+                indeg[u] -= 1
+                if indeg[u] == 0:
+                    queue.append(u)
+        if seen != n:
+            raise ValueError("orientation contains a directed cycle")
+        return best
+
+
+def orientation_from_parent_lists(
+    g: Graph, parents: Mapping[int, Iterable[int]]
+) -> Orientation:
+    """Build an orientation from per-vertex parent lists (the form in which
+    the distributed programs report their local orientation decisions)."""
+    o = Orientation(g)
+    for v, ps in parents.items():
+        for p in ps:
+            o.orient(v, p, p)
+    return o
+
+
+def orientation_by_order(g: Graph, rank: Mapping[int, int] | list[int]) -> Orientation:
+    """Orient every edge towards the endpoint of higher rank (e.g. higher
+    color or higher ID).  Always acyclic when ranks are distinct per edge."""
+    o = Orientation(g)
+    get = rank.__getitem__
+    for u, v in g.edges():
+        ru, rv = get(u), get(v)
+        if ru == rv:
+            raise ValueError(f"rank tie on edge ({u}, {v})")
+        o.orient(u, v, v if rv > ru else u)
+    return o

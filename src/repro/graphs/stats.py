@@ -1,0 +1,84 @@
+"""Descriptive graph statistics used by reports, examples and diagnostics."""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from typing import Mapping
+
+from repro.graphs.graph import Graph
+
+
+def degree_histogram(g: Graph) -> dict[int, int]:
+    """degree -> number of vertices with that degree."""
+    return dict(Counter(g.degree_sequence()))
+
+
+def average_degree(g: Graph) -> float:
+    """2m / n (0.0 for the empty graph)."""
+    return 2.0 * g.m / g.n if g.n else 0.0
+
+
+def global_density(g: Graph) -> float:
+    """The Nash-Williams density m / (n - 1) of the whole graph: a lower
+    bound witness for the arboricity."""
+    return g.m / (g.n - 1) if g.n > 1 else 0.0
+
+
+def bfs_distances(g: Graph, source: int) -> dict[int, int]:
+    """Hop distances from ``source`` to every reachable vertex."""
+    dist = {source: 0}
+    queue = deque([source])
+    while queue:
+        v = queue.popleft()
+        for u in g.neighbors(v):
+            if u not in dist:
+                dist[u] = dist[v] + 1
+                queue.append(u)
+    return dist
+
+
+def eccentricity(g: Graph, v: int) -> int:
+    """The greatest distance from v within its component."""
+    return max(bfs_distances(g, v).values(), default=0)
+
+
+def diameter_lower_bound(g: Graph, sweeps: int = 2) -> int:
+    """A double-sweep BFS lower bound on the diameter (exact on trees):
+    start anywhere, jump to the farthest vertex, repeat."""
+    if g.n == 0:
+        return 0
+    best = 0
+    for comp in g.connected_components():
+        v = comp[0]
+        for _ in range(max(sweeps, 1)):
+            dist = bfs_distances(g, v)
+            far, d = max(dist.items(), key=lambda kv: (kv[1], -kv[0]))
+            best = max(best, d)
+            v = far
+    return best
+
+
+def diameter_exact(g: Graph) -> int:
+    """Exact diameter by all-pairs BFS (test-sized graphs; infinite
+    components are measured separately and the max is returned)."""
+    best = 0
+    for v in g.vertices():
+        ecc = eccentricity(g, v)
+        best = max(best, ecc)
+    return best
+
+
+def summarize(g: Graph) -> Mapping[str, object]:
+    """A one-look summary used by diagnostics."""
+    from repro.graphs.arboricity import degeneracy
+
+    return {
+        "n": g.n,
+        "m": g.m,
+        "max_degree": g.max_degree(),
+        "avg_degree": round(average_degree(g), 3),
+        "density": round(global_density(g), 3),
+        "degeneracy": degeneracy(g),
+        "components": len(g.connected_components()),
+        "diameter_lb": diameter_lower_bound(g),
+    }

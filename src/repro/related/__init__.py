@@ -1,0 +1,18 @@
+"""Related-work results the paper builds on.
+
+Feuilloley [12] introduced the vertex-averaged measure and proved two
+reference points on rings that frame the paper's question (Sections 2-3):
+
+* leader election admits an *exponential* average/worst-case gap --
+  O(log n) averaged output time vs Omega(n) worst case
+  (:mod:`repro.related.leader_election`), and
+* O(1)-coloring of rings admits *no* gap -- Theta(log* n) both ways
+  (:mod:`repro.baselines.cole_vishkin`).
+
+The paper's contribution is showing that for symmetry breaking on
+*general* graphs the gap exists after all.
+"""
+
+from repro.related.leader_election import run_leader_election
+
+__all__ = ["run_leader_election"]

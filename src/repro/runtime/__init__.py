@@ -1,0 +1,27 @@
+"""Synchronous LOCAL-model runtime.
+
+This package simulates the static, synchronous message-passing model of
+Section 1.1 of the paper: all processors operate in parallel in synchronous
+rounds, exchanging messages of unbounded size with their neighbors.  A
+vertex's *running time* is the round in which it terminates; per the paper's
+variant of the model (Section 2), a terminating vertex transmits its final
+output once to all neighbors and then performs no further computation or
+communication.
+
+Vertex programs are written as generator coroutines: one ``yield`` per
+communication round (see :mod:`repro.runtime.program`).
+"""
+
+from repro.runtime.context import Context
+from repro.runtime.network import RunResult, SyncNetwork
+from repro.runtime.metrics import RoundMetrics
+from repro.runtime.program import wait_rounds, wait_until_round
+
+__all__ = [
+    "Context",
+    "RoundMetrics",
+    "RunResult",
+    "SyncNetwork",
+    "wait_rounds",
+    "wait_until_round",
+]

@@ -1,0 +1,143 @@
+"""Per-vertex execution context.
+
+A :class:`Context` is the whole world as seen by one processor: its own
+identifier, its incident communication links, the messages delivered this
+round, the final outputs announced by already-terminated neighbors, and the
+common knowledge every vertex starts with (``n``, the arboricity ``a``, the
+ID-space bound -- whatever the algorithm driver places in ``config``).
+
+Knowledge model: vertices know their own ID, the IDs at the other end of
+their links (``neighbor_ids``, the KT1 assumption the paper's "orient the
+edge towards the higher ID immediately upon formation of the H-set" steps
+require), and global parameters that are deterministic functions of the
+problem instance.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Iterable, Mapping
+
+
+class Context:
+    """The local state and communication interface of one vertex."""
+
+    __slots__ = (
+        "v",
+        "id",
+        "neighbors",
+        "neighbor_ids",
+        "n",
+        "config",
+        "rng",
+        "inbox",
+        "halted",
+        "newly_halted",
+        "_round",
+        "_outgoing",
+        "_halted_set",
+        "_commit_round",
+        "_commit_value",
+        "_neighbor_set",
+    )
+
+    def __init__(
+        self,
+        v: int,
+        vid: int,
+        neighbors: tuple[int, ...],
+        neighbor_ids: Mapping[int, int],
+        n: int,
+        config: Mapping[str, Any],
+        rng: random.Random,
+    ) -> None:
+        self.v = v
+        self.id = vid
+        self.neighbors = neighbors
+        self.neighbor_ids = dict(neighbor_ids)
+        self.n = n
+        self.config = config
+        self.rng = rng
+        #: messages received this round: sender vertex -> payload
+        self.inbox: dict[int, Any] = {}
+        #: final outputs of terminated neighbors (accumulated)
+        self.halted: dict[int, Any] = {}
+        #: neighbors whose termination notice arrived this round
+        self.newly_halted: frozenset[int] = frozenset()
+        self._round = 0
+        self._outgoing: list[tuple[int, Any]] = []
+        self._halted_set: set[int] = set()
+        self._commit_round: int | None = None
+        self._commit_value: Any = None
+        self._neighbor_set: frozenset[int] = frozenset(neighbors)
+
+    # ------------------------------------------------------------------
+    @property
+    def round(self) -> int:
+        """The current communication round (1-based)."""
+        return self._round
+
+    @property
+    def degree(self) -> int:
+        return len(self.neighbors)
+
+    def active_neighbors(self) -> list[int]:
+        """Neighbors that have not terminated yet."""
+        return [u for u in self.neighbors if u not in self._halted_set]
+
+    def active_degree(self) -> int:
+        """The number of not-yet-terminated neighbors."""
+        return len(self.neighbors) - len(self._halted_set)
+
+    # ------------------------------------------------------------------
+    def commit(self, value: Any) -> None:
+        """Fix the final output *now* while continuing to participate.
+
+        This is Feuilloley's first running-time definition (paper §2): a
+        vertex chooses its output after some rounds, may keep transmitting
+        and relaying afterwards, but can never change the output.  The
+        engine records the commit round separately from the termination
+        round; :class:`RunResult.output_metrics` averages commit times.
+        A second commit, or committing a different value than eventually
+        returned, is an error.
+        """
+        if self._commit_round is not None:
+            raise RuntimeError(f"vertex {self.v} committed its output twice")
+        self._commit_round = self._round
+        self._commit_value = value
+
+    @property
+    def committed(self) -> bool:
+        return self._commit_round is not None
+
+    # ------------------------------------------------------------------
+    def send(self, u: int, payload: Any) -> None:
+        """Send ``payload`` to neighbor ``u``; delivered next round.
+
+        Sending to a non-neighbor is a model violation and raises.  Sends
+        to already-terminated neighbors are silently dropped, matching the
+        model: a terminated processor performs no further communication.
+        """
+        if u not in self._neighbor_set:
+            raise ValueError(
+                f"vertex {self.v} tried to message non-neighbor {u}: "
+                "communication must follow the graph's links"
+            )
+        if u not in self._halted_set:
+            self._outgoing.append((u, payload))
+
+    def send_many(self, targets: Iterable[int], payload: Any) -> None:
+        for u in targets:
+            self.send(u, payload)
+
+    def broadcast(self, payload: Any) -> None:
+        """Send ``payload`` to every active neighbor."""
+        halted = self._halted_set
+        out = self._outgoing
+        for u in self.neighbors:
+            if u not in halted:
+                out.append((u, payload))
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Context(v={self.v}, id={self.id}, round={self._round})"

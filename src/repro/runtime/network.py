@@ -1,0 +1,250 @@
+"""The synchronous round engine.
+
+Vertex programs are generator coroutines created by a *program factory*
+``factory(ctx) -> generator``.  The protocol is:
+
+* Code between two ``yield`` statements is one round of local computation.
+  During it the program may read ``ctx.inbox`` (messages delivered this
+  round, as ``sender -> list of payloads`` -- several messages to the same
+  neighbor in one round are bundled in send order), ``ctx.halted`` /
+  ``ctx.newly_halted`` (termination notices), and call ``ctx.send`` /
+  ``ctx.broadcast``.
+* ``yield`` ends the round; messages sent during round r are delivered at
+  the start of round r + 1.
+* ``return output`` terminates the vertex.  Its running time r(v) is the
+  round in which it returned, and -- per the paper's model -- the final
+  output is transmitted once to all neighbors: they observe it in
+  ``ctx.halted[v]`` from the next round onward.  Afterwards the vertex
+  neither sends nor receives.
+
+The engine advances only active vertices, so the per-round work is
+proportional to the number of active vertices -- the same quantity the
+vertex-averaged measure sums.  Execution is deterministic given the graph,
+the ID assignment, the seed and the program.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, Mapping, Sequence
+
+from repro.graphs.graph import Graph
+from repro.runtime.context import Context
+from repro.runtime.metrics import RoundMetrics
+
+ProgramFactory = Callable[[Context], Generator[None, None, Any]]
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outputs and round accounting of one execution."""
+
+    outputs: dict[int, Any]
+    metrics: RoundMetrics
+    contexts: tuple[Context, ...]
+    #: per-vertex round at which the output was fixed; equals the
+    #: termination round unless the program called ``ctx.commit`` earlier
+    #: (Feuilloley's first definition, paper Section 2).
+    output_rounds: tuple[int, ...] = ()
+
+    @property
+    def vertex_averaged(self) -> float:
+        return self.metrics.vertex_averaged
+
+    @property
+    def worst_case(self) -> int:
+        return self.metrics.worst_case
+
+    @property
+    def output_metrics(self) -> RoundMetrics:
+        """Round accounting under the output-commit definition."""
+        return RoundMetrics(rounds=self.output_rounds or self.metrics.rounds)
+
+
+class MaxRoundsExceeded(RuntimeError):
+    """Raised when an execution fails to terminate within the round budget
+    (a liveness bug or an unlucky randomized run)."""
+
+
+class SyncNetwork:
+    """A network of processors over a static communication graph.
+
+    Parameters
+    ----------
+    graph:
+        The communication topology.
+    ids:
+        The ID assignment I (distinct integers).  Defaults to ``0..n-1``.
+    seed:
+        Seed for per-vertex random generators (randomized algorithms).
+    config:
+        Common knowledge shared by all vertices (e.g. ``n``, arboricity
+        ``a``, epsilon, palette objects).  ``n`` and ``id_space`` (one plus
+        the maximum ID) are always provided.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        ids: Sequence[int] | None = None,
+        seed: int = 0,
+        config: Mapping[str, Any] | None = None,
+    ) -> None:
+        self.graph = graph
+        n = graph.n
+        if ids is None:
+            ids = list(range(n))
+        if len(ids) != n:
+            raise ValueError("ID assignment length must equal n")
+        if len(set(ids)) != n:
+            raise ValueError("IDs must be distinct")
+        self.ids = list(ids)
+        self.seed = seed
+        base = dict(config or {})
+        base.setdefault("n", n)
+        base.setdefault("id_space", (max(ids) + 1) if n else 1)
+        self.config = base
+
+    # ------------------------------------------------------------------
+    def make_contexts(self) -> list[Context]:
+        g, ids = self.graph, self.ids
+        contexts = []
+        for v in range(g.n):
+            nbrs = g.neighbors(v)
+            rng = random.Random(f"{self.seed}:{ids[v]}:seed")
+            contexts.append(
+                Context(
+                    v=v,
+                    vid=ids[v],
+                    neighbors=nbrs,
+                    neighbor_ids={u: ids[u] for u in nbrs},
+                    n=g.n,
+                    config=self.config,
+                    rng=rng,
+                )
+            )
+        return contexts
+
+    def run(
+        self,
+        program: ProgramFactory,
+        max_rounds: int | None = None,
+        collect_messages: bool = True,
+    ) -> RunResult:
+        """Execute ``program`` on every vertex until all terminate."""
+        g = self.graph
+        n = g.n
+        if max_rounds is None:
+            max_rounds = 64 * (n.bit_length() + 1) * max(1, n.bit_length()) + 16 * n + 1024
+
+        contexts = self.make_contexts()
+        gens: list[Generator[None, None, Any] | None] = []
+        for ctx in contexts:
+            gen = program(ctx)
+            if not hasattr(gen, "send"):
+                raise TypeError("program factory must return a generator")
+            gens.append(gen)
+
+        outputs: dict[int, Any] = {}
+        rounds = [0] * n
+        active: list[int] = list(range(n))
+        pending: dict[int, dict[int, Any]] = {}
+        active_trace: list[int] = []
+        msg_trace: list[int] = []
+        rnd = 0
+        newly_halted: list[tuple[int, Any]] = []
+
+        while active:
+            rnd += 1
+            if rnd > max_rounds:
+                raise MaxRoundsExceeded(
+                    f"{len(active)} vertices still active after {max_rounds} rounds"
+                )
+            active_trace.append(len(active))
+
+            # Deliver termination notices from the previous round.
+            if newly_halted:
+                notice_for: dict[int, set[int]] = {}
+                for v, out in newly_halted:
+                    for u in g.neighbors(v):
+                        contexts[u].halted[v] = out
+                        contexts[u]._halted_set.add(v)
+                        notice_for.setdefault(u, set()).add(v)
+                for u, vs in notice_for.items():
+                    contexts[u].newly_halted = frozenset(vs)
+                cleared = set(notice_for)
+            else:
+                cleared = set()
+            newly_halted = []
+
+            msg_count = 0
+            next_pending: dict[int, dict[int, Any]] = {}
+            still_active: list[int] = []
+
+            for v in active:
+                ctx = contexts[v]
+                ctx.inbox = pending.get(v, {})
+                ctx._round = rnd
+                if v not in cleared and ctx.newly_halted:
+                    ctx.newly_halted = frozenset()
+                try:
+                    yielded = next(gens[v])
+                    if yielded is not None:
+                        raise RuntimeError(
+                            f"vertex {v} yielded {yielded!r}; programs must "
+                            "use bare `yield` (send via ctx.send/broadcast)"
+                        )
+                except StopIteration as stop:
+                    if ctx._commit_round is not None:
+                        if stop.value is not None and stop.value != ctx._commit_value:
+                            raise RuntimeError(
+                                f"vertex {v} returned {stop.value!r} after "
+                                f"committing {ctx._commit_value!r}"
+                            )
+                        outputs[v] = ctx._commit_value
+                    else:
+                        outputs[v] = stop.value
+                    rounds[v] = rnd
+                    gens[v] = None
+                    newly_halted.append((v, outputs[v]))
+                else:
+                    still_active.append(v)
+                # Route outgoing messages (terminating vertices may have
+                # sent messages in their final round before returning; the
+                # model lets the final output travel, so these are dropped
+                # in favour of the halted-notice, except explicit sends
+                # which we still deliver for generality).
+                if ctx._outgoing:
+                    for u, payload in ctx._outgoing:
+                        box = next_pending.get(u)
+                        if box is None:
+                            box = next_pending[u] = {}
+                        slot = box.get(v)
+                        if slot is None:
+                            box[v] = [payload]
+                        else:
+                            slot.append(payload)
+                        msg_count += 1
+                    ctx._outgoing = []
+
+            if collect_messages:
+                msg_trace.append(msg_count + len(newly_halted))
+            active = still_active
+            pending = next_pending
+
+        metrics = RoundMetrics(
+            rounds=tuple(rounds),
+            active_trace=tuple(active_trace),
+            messages_per_round=tuple(msg_trace),
+        )
+        output_rounds = tuple(
+            ctx._commit_round if ctx._commit_round is not None else rounds[v]
+            for v, ctx in enumerate(contexts)
+        )
+        return RunResult(
+            outputs=outputs,
+            metrics=metrics,
+            contexts=tuple(contexts),
+            output_rounds=output_rounds,
+        )

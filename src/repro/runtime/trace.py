@@ -1,0 +1,96 @@
+"""Execution tracing: per-round observability of a run.
+
+:class:`TraceRecorder` wraps a program factory and records, per round,
+which vertices terminated and how many messages each vertex sent, yielding
+a round-by-round narrative (the "what happened when" view that complements
+the aggregate :class:`repro.runtime.metrics.RoundMetrics`).  Used by tests
+asserting fine-grained schedule properties and by diagnostic tooling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator
+
+from repro.runtime.context import Context
+
+
+@dataclass
+class RoundRecord:
+    """What happened during one round."""
+
+    round: int
+    terminated: list[int] = field(default_factory=list)
+    committed: list[int] = field(default_factory=list)
+    messages: int = 0
+
+
+@dataclass
+class Trace:
+    """A round-by-round record of an execution."""
+
+    records: list[RoundRecord] = field(default_factory=list)
+
+    def record(self, rnd: int) -> RoundRecord:
+        while len(self.records) < rnd:
+            self.records.append(RoundRecord(round=len(self.records) + 1))
+        return self.records[rnd - 1]
+
+    def termination_rounds(self) -> dict[int, int]:
+        out = {}
+        for rec in self.records:
+            for v in rec.terminated:
+                out[v] = rec.round
+        return out
+
+    def terminations_per_round(self) -> list[int]:
+        return [len(rec.terminated) for rec in self.records]
+
+    def messages_per_round(self) -> list[int]:
+        return [rec.messages for rec in self.records]
+
+    def narrative(self, limit: int = 50) -> str:
+        """A human-readable per-round log (truncated to ``limit`` rounds)."""
+        lines = []
+        for rec in self.records[:limit]:
+            parts = [f"round {rec.round:4d}:"]
+            if rec.messages:
+                parts.append(f"{rec.messages} msgs")
+            if rec.committed:
+                parts.append(f"{len(rec.committed)} committed")
+            if rec.terminated:
+                parts.append(f"{len(rec.terminated)} terminated")
+            if len(parts) == 1:
+                parts.append("idle")
+            lines.append(" ".join(parts))
+        if len(self.records) > limit:
+            lines.append(f"... ({len(self.records) - limit} more rounds)")
+        return "\n".join(lines)
+
+
+def traced(
+    program: Callable[[Context], Generator[None, None, Any]], trace: Trace
+) -> Callable[[Context], Generator[None, None, Any]]:
+    """Wrap a program factory so each vertex reports into ``trace``."""
+
+    def wrapper(ctx: Context):
+        gen = program(ctx)
+        committed_seen = False
+        try:
+            while True:
+                next(gen)
+                rec = trace.record(ctx.round)
+                rec.messages += len(ctx._outgoing)
+                if not committed_seen and ctx.committed:
+                    rec.committed.append(ctx.v)
+                    committed_seen = True
+                yield
+        except StopIteration as stop:
+            rec = trace.record(ctx.round)
+            rec.messages += len(ctx._outgoing)
+            if not committed_seen and ctx.committed:
+                rec.committed.append(ctx.v)
+            rec.terminated.append(ctx.v)
+            return stop.value
+
+    return wrapper

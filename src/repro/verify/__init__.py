@@ -1,0 +1,42 @@
+"""Solution validators for every problem the paper solves.
+
+Each validator raises :class:`VerificationError` with a precise witness on
+failure and returns silently on success; ``check_*`` variants return bools.
+Tests and benchmarks validate every produced solution.
+"""
+
+from repro.verify.colorings import (
+    VerificationError,
+    assert_proper_coloring,
+    assert_proper_edge_coloring,
+    assert_list_coloring,
+    assert_defective_coloring,
+    color_count,
+    defect_of,
+)
+from repro.verify.sets import (
+    assert_maximal_independent_set,
+    assert_maximal_matching,
+)
+from repro.verify.structures import (
+    assert_forest_decomposition,
+    assert_h_partition,
+    assert_acyclic_orientation,
+    assert_arbdefective_coloring,
+)
+
+__all__ = [
+    "VerificationError",
+    "assert_proper_coloring",
+    "assert_proper_edge_coloring",
+    "assert_list_coloring",
+    "assert_defective_coloring",
+    "assert_maximal_independent_set",
+    "assert_maximal_matching",
+    "assert_forest_decomposition",
+    "assert_h_partition",
+    "assert_acyclic_orientation",
+    "assert_arbdefective_coloring",
+    "color_count",
+    "defect_of",
+]

@@ -1,0 +1,51 @@
+"""Validators for maximal independent sets and maximal matchings
+(problem definitions: Section 5 of the paper)."""
+
+from __future__ import annotations
+
+from typing import Collection
+
+from repro.graphs.graph import Graph, canonical_edge
+from repro.verify.colorings import VerificationError
+
+
+def assert_maximal_independent_set(g: Graph, mis: Collection[int]) -> None:
+    """I is independent (no edge inside) and maximal (every outside vertex
+    has a neighbor inside)."""
+    s = set(mis)
+    for v in s:
+        if not 0 <= v < g.n:
+            raise VerificationError(f"MIS contains non-vertex {v}")
+    for u, v in g.edges():
+        if u in s and v in s:
+            raise VerificationError(f"MIS contains adjacent vertices {u}, {v}")
+    for v in g.vertices():
+        if v in s:
+            continue
+        if not any(u in s for u in g.neighbors(v)):
+            raise VerificationError(
+                f"vertex {v} is outside the MIS but has no MIS neighbor"
+            )
+
+
+def assert_maximal_matching(g: Graph, matching: Collection[tuple[int, int]]) -> None:
+    """M is a matching (pairwise vertex-disjoint edges of G) and maximal
+    (every edge of G intersects M)."""
+    edges = [canonical_edge(u, v) for u, v in matching]
+    if len(set(edges)) != len(edges):
+        raise VerificationError("matching contains a repeated edge")
+    matched: set[int] = set()
+    for u, v in edges:
+        if not g.has_edge(u, v):
+            raise VerificationError(f"matching edge ({u}, {v}) is not in G")
+        if u in matched or v in matched:
+            raise VerificationError(
+                f"matching edges intersect at ({u}, {v})"
+            )
+        matched.add(u)
+        matched.add(v)
+    for u, v in g.edges():
+        if u not in matched and v not in matched:
+            raise VerificationError(
+                f"edge ({u}, {v}) could be added: matching is not maximal"
+            )

@@ -1,0 +1,77 @@
+"""Tests for the complexity-shape fitter the benchmarks rely on."""
+
+from math import log2, sqrt
+
+import pytest
+
+from repro.analysis.fitting import ShapeFit, fit_shape, growth_factor
+
+NS = [256, 1024, 4096, 16384, 65536, 262144]
+
+
+def test_constant_series():
+    fit = fit_shape(NS, [3.0] * len(NS))
+    assert fit.shape == "O(1)"
+    assert fit.residual < 1e-9
+
+
+def test_log_series():
+    ys = [2.5 * log2(n) + 1 for n in NS]
+    fit = fit_shape(NS, ys)
+    assert fit.shape == "O(log n)"
+    assert fit.alpha == pytest.approx(2.5, rel=0.05)
+
+
+def test_loglog_series():
+    ys = [4 * log2(log2(n)) for n in NS]
+    fit = fit_shape(NS, ys)
+    assert fit.shape == "O(log log n)"
+
+
+def test_linear_series():
+    fit = fit_shape(NS, [0.5 * n for n in NS])
+    assert fit.shape == "O(n)"
+
+
+def test_sqrt_series():
+    fit = fit_shape(NS, [2 * sqrt(n) for n in NS])
+    assert fit.shape == "O(sqrt n)"
+
+
+def test_noisy_constant_prefers_simplest():
+    ys = [3.0, 3.4, 2.8, 3.1, 3.2, 2.9]
+    fit = fit_shape(NS, ys)
+    assert fit.shape in ("O(1)", "O(log* n)")
+
+
+def test_ordering_helpers():
+    fit = fit_shape(NS, [log2(n) for n in NS])
+    assert fit.at_most("O(log n)")
+    assert fit.at_most("O(n)")
+    assert not fit.at_most("O(1)")
+    assert fit.grows_at_least("O(log log n)")
+    assert not fit.grows_at_least("O(n)")
+
+
+def test_requires_two_points():
+    with pytest.raises(ValueError):
+        fit_shape([10], [1.0])
+
+
+def test_negative_slope_clamped():
+    # decreasing series: alpha clamps at 0 and the constant model wins
+    fit = fit_shape(NS, [10.0, 9.0, 8.5, 8.2, 8.0, 7.9])
+    assert fit.shape == "O(1)"
+
+
+def test_residuals_reported_for_all_shapes():
+    fit = fit_shape(NS, [log2(n) for n in NS])
+    assert set(fit.residuals) == {
+        "O(1)", "O(log* n)", "O(log log n)", "O(log n)", "O(sqrt n)", "O(n)"
+    }
+
+
+def test_growth_factor():
+    assert growth_factor([10, 100], [2.0, 8.0]) == 4.0
+    assert growth_factor([100, 10], [8.0, 2.0]) == 4.0  # order-insensitive
+    assert growth_factor([10, 100], [0.0, 0.5]) == 1.0  # floored at 1

@@ -1,0 +1,56 @@
+"""Tests for iterated logarithms and rho(n)."""
+
+import pytest
+
+from repro.analysis.logstar import ilog, iterated_log, log_star, rho
+
+
+class TestIlog:
+    def test_zero_iterations(self):
+        assert ilog(100, 0) == 100
+
+    def test_one_iteration(self):
+        assert ilog(8, 1) == 3.0
+        assert ilog(2, 1) == 1.0
+
+    def test_two_iterations(self):
+        assert ilog(256, 2) == 3.0
+
+    def test_clamps_at_zero(self):
+        assert ilog(2, 3) == 0.0
+        assert ilog(1, 1) == 0.0
+
+    def test_monotone_in_k(self):
+        vals = [ilog(10**6, k) for k in range(6)]
+        assert vals == sorted(vals, reverse=True)
+
+    def test_alias(self):
+        assert iterated_log(65536, 2) == ilog(65536, 2)
+
+
+class TestLogStar:
+    @pytest.mark.parametrize(
+        "n,expected",
+        [(1, 0), (2, 1), (3, 2), (4, 2), (5, 3), (16, 3), (17, 4), (65536, 4), (65537, 5)],
+    )
+    def test_known_values(self, n, expected):
+        assert log_star(n) == expected
+
+    def test_grows_extremely_slowly(self):
+        assert log_star(10**30) == 5
+
+
+class TestRho:
+    def test_small(self):
+        assert rho(2) >= 1
+
+    def test_definition(self):
+        """rho(n) is the largest k with log^(k-1) n >= log* n."""
+        for n in (10, 1000, 10**5, 10**9):
+            k = rho(n)
+            assert ilog(n, k - 1) >= log_star(n)
+            assert ilog(n, k) < log_star(n)
+
+    def test_bounded_by_log_star(self):
+        for n in (10, 10**4, 10**8):
+            assert 1 <= rho(n) <= log_star(n)

@@ -1,0 +1,88 @@
+"""Tests that measured executions respect the executable paper-bound
+registry (repro.analysis.theory)."""
+
+import pytest
+
+import repro
+from repro.analysis.theory import BOUNDS, Instance, palette_bound
+from repro.graphs import generators as gen
+
+
+@pytest.fixture(scope="module")
+def setting():
+    g = gen.union_of_forests(400, 3, seed=11)
+    inst = Instance(n=g.n, a=3, delta=g.max_degree(), eps=1.0, k=2)
+    return g, inst
+
+
+def test_registry_covers_all_headline_algorithms():
+    expected = {
+        "partition", "forest_decomposition", "a2logn", "a2", "oa", "ka2",
+        "ka", "one_plus_eta", "delta_plus_one", "mis", "edge_coloring",
+        "maximal_matching", "rand_delta_plus_one", "aloglogn",
+    }
+    assert expected <= set(BOUNDS)
+
+
+def test_every_bound_names_its_section():
+    for key, b in BOUNDS.items():
+        assert b.section, key
+        assert b.avg_shape in {"O(1)", "O(log* n)", "O(log log n)"}, key
+        assert b.worst_shape_baseline == "O(log n)", key
+
+
+@pytest.mark.parametrize(
+    "key,run,colors",
+    [
+        ("a2logn", lambda g: repro.run_a2logn_coloring(g, a=3), lambda r: r.colors_used),
+        ("a2", lambda g: repro.run_a2_coloring(g, a=3), lambda r: r.colors_used),
+        ("oa", lambda g: repro.run_oa_coloring(g, a=3), lambda r: r.colors_used),
+        ("ka2", lambda g: repro.run_ka2_coloring(g, a=3, k=2), lambda r: r.colors_used),
+        ("ka", lambda g: repro.run_ka_coloring(g, a=3, k=2), lambda r: r.colors_used),
+        (
+            "delta_plus_one",
+            lambda g: repro.run_delta_plus_one_coloring(g, a=3),
+            lambda r: r.colors_used,
+        ),
+        (
+            "edge_coloring",
+            lambda g: repro.run_edge_coloring(g, a=3),
+            lambda r: r.colors_used,
+        ),
+        (
+            "rand_delta_plus_one",
+            lambda g: repro.run_rand_delta_plus_one(g, seed=0),
+            lambda r: r.colors_used,
+        ),
+        (
+            "aloglogn",
+            lambda g: repro.run_aloglogn_coloring(g, a=3, seed=0),
+            lambda r: r.colors_used,
+        ),
+    ],
+)
+def test_measured_palettes_within_paper_bounds(setting, key, run, colors):
+    g, inst = setting
+    bound = palette_bound(key, inst)
+    assert bound is not None
+    res = run(g)
+    assert colors(res) <= bound, (key, colors(res), bound)
+
+
+def test_forest_decomposition_bound(setting):
+    g, inst = setting
+    fd = repro.run_parallelized_forest_decomposition(g, a=3)
+    assert fd.num_forests <= palette_bound("forest_decomposition", inst)
+
+
+def test_no_palette_keys_return_none(setting):
+    _, inst = setting
+    for key in ("partition", "mis", "maximal_matching", "one_plus_eta"):
+        assert palette_bound(key, inst) is None
+
+
+def test_instance_helpers():
+    inst = Instance(n=100, a=2, delta=9, eps=1.0)
+    assert inst.A == 6
+    assert inst.ids == 100
+    assert Instance(n=100, a=2, delta=9, id_space=999).ids == 999

@@ -1,0 +1,45 @@
+"""Shared fixtures: a suite of small graphs spanning the families the
+paper's claims quantify over, with known arboricity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import generators as gen
+from repro.graphs.graph import Graph
+
+
+def small_graph_suite() -> list[tuple[str, Graph, int]]:
+    """(name, graph, arboricity-upper-bound-to-run-with) triples used by
+    correctness tests across all algorithms."""
+    return [
+        ("empty", Graph(0), 1),
+        ("single", Graph(1), 1),
+        ("two-isolated", Graph(2), 1),
+        ("one-edge", Graph(2, [(0, 1)]), 1),
+        ("triangle", gen.complete(3), 2),
+        ("path", gen.path(17), 1),
+        ("ring", gen.ring(16), 2),
+        ("star", gen.star(12), 1),
+        ("binary-tree", gen.binary_tree(31), 1),
+        ("grid", gen.grid(5, 6), 2),
+        ("tri-grid", gen.triangular_grid(4, 5), 3),
+        ("k5", gen.complete(5), 3),
+        ("k33", gen.complete_bipartite(3, 3), 2),
+        ("hypercube", gen.hypercube(4), 3),
+        ("caterpillar", gen.caterpillar(8, 3), 1),
+        ("star-forest", gen.star_forest(4, 5), 1),
+        ("forest-union", gen.union_of_forests(60, 3, seed=0), 3),
+        ("gnp", gen.gnp(50, 0.1, seed=1), 5),
+        ("tree", gen.random_tree(40, seed=2), 1),
+    ]
+
+
+@pytest.fixture(params=small_graph_suite(), ids=lambda t: t[0])
+def named_graph(request):
+    return request.param
+
+
+@pytest.fixture
+def forest_union_200():
+    return gen.union_of_forests(200, 3, seed=7)

@@ -1,0 +1,146 @@
+"""Direct tests for the self-synchronizing Arb-Linial subroutines."""
+
+from repro.core.arb_linial import (
+    arb_linial_steps,
+    greedy_from_list,
+    list_coloring_steps,
+    priority_wave,
+)
+from repro.core.common import LocalView
+from repro.core.coverfree import palette_schedule
+from repro.graphs import generators as gen
+from repro.graphs.graph import Graph
+from repro.runtime.network import SyncNetwork
+from repro.verify import assert_list_coloring, assert_proper_coloring
+
+import pytest
+
+
+def test_greedy_from_list():
+    assert greedy_from_list([3, 1, 4], set()) == 3
+    assert greedy_from_list([3, 1, 4], {3, 1}) == 4
+    with pytest.raises(AssertionError):
+        greedy_from_list([1], {1})
+
+
+def test_arb_linial_steps_proper_against_all_neighbors():
+    g = gen.union_of_forests(300, 2, seed=1)
+    delta = g.max_degree()
+
+    def program(ctx):
+        view = LocalView()
+        c = yield from arb_linial_steps(
+            ctx, view, ctx.neighbors, ctx.config["schedule"], tag="t"
+        )
+        return c
+
+    net = SyncNetwork(g)
+    net.config["schedule"] = palette_schedule(net.config["id_space"], delta)
+    res = net.run(program)
+    assert_proper_coloring(g, res.outputs)
+
+
+def test_arb_linial_steps_staggered_starts_stay_proper():
+    """Self-synchronization: vertices entering at different rounds still
+    produce a proper coloring (each waits for the step colors it needs)."""
+    g = gen.gnp(80, 0.06, seed=2)
+    delta = max(g.max_degree(), 1)
+
+    def program(ctx):
+        view = LocalView()
+        for _ in range(ctx.v % 7):  # staggered entry
+            yield
+            view.absorb(ctx)
+        c = yield from arb_linial_steps(
+            ctx, view, ctx.neighbors, ctx.config["schedule"], tag="t"
+        )
+        return c
+
+    net = SyncNetwork(g)
+    net.config["schedule"] = palette_schedule(net.config["id_space"], delta)
+    res = net.run(program)
+    assert_proper_coloring(g, res.outputs)
+
+
+def test_priority_wave_respects_order():
+    """A wave along a path oriented by index terminates in index order and
+    each vertex sees exactly its predecessor's value."""
+    g = gen.path(8)
+
+    def program(ctx):
+        view = LocalView()
+        preds = [u for u in ctx.neighbors if u < ctx.v]
+        value = yield from priority_wave(
+            ctx, view, preds, "w", lambda pv: max(pv.values(), default=-1) + 1
+        )
+        return value
+
+    res = SyncNetwork(g).run(program)
+    assert res.outputs == {v: v for v in range(8)}
+    # termination rounds increase along the wave
+    rounds = res.metrics.rounds
+    assert all(rounds[v] <= rounds[v + 1] for v in range(7))
+
+
+def test_priority_wave_no_predecessors_immediate():
+    g = Graph(3)
+
+    def program(ctx):
+        view = LocalView()
+        v = yield from priority_wave(ctx, view, [], "w", lambda pv: 42)
+        return v
+
+    res = SyncNetwork(g).run(program)
+    assert all(v == 42 for v in res.outputs.values())
+    assert res.metrics.worst_case == 1
+
+
+def test_list_coloring_respects_lists():
+    g = gen.gnp(60, 0.08, seed=3)
+    delta = max(g.max_degree(), 1)
+    lists = {v: list(range(100 + v % 3, 100 + v % 3 + g.degree(v) + 1)) for v in g.vertices()}
+
+    def program(ctx):
+        view = LocalView()
+        c = yield from list_coloring_steps(
+            ctx,
+            view,
+            members=ctx.neighbors,
+            palette=ctx.config["lists"][ctx.v],
+            schedule=ctx.config["schedule"],
+            tag="lc",
+        )
+        return c
+
+    net = SyncNetwork(g)
+    net.config["schedule"] = palette_schedule(net.config["id_space"], delta)
+    net.config["lists"] = lists
+    res = net.run(program)
+    assert_list_coloring(g, res.outputs, {v: set(lists[v]) for v in g.vertices()})
+
+
+def test_list_coloring_with_external_predecessors():
+    """External predecessors' announced picks are honoured (the earlier-
+    H-set pruning of Corollary 8.3)."""
+    g = gen.path(2)
+
+    def program(ctx):
+        view = LocalView()
+        if ctx.v == 0:
+            ctx.broadcast(("ext", 5))
+            yield
+            return 5
+        c = yield from list_coloring_steps(
+            ctx,
+            view,
+            members=[],
+            palette=[5, 6],
+            schedule=[],
+            tag="lc",
+            external_predecessors=[0],
+            external_tag="ext",
+        )
+        return c
+
+    res = SyncNetwork(g).run(program)
+    assert res.outputs[1] == 6  # 5 was claimed externally

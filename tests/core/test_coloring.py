@@ -1,0 +1,112 @@
+"""Tests for the Section 7.2-7.4 colorings."""
+
+import pytest
+
+from repro.core.coloring import (
+    run_a2_coloring,
+    run_a2logn_coloring,
+    run_oa_coloring,
+    two_phase_split,
+)
+from repro.graphs import generators as gen
+from repro.verify import assert_proper_coloring
+
+
+ALGOS = [
+    ("a2logn", run_a2logn_coloring),
+    ("a2", run_a2_coloring),
+    ("oa", run_oa_coloring),
+]
+
+
+@pytest.mark.parametrize("algo_name,algo", ALGOS, ids=[a for a, _ in ALGOS])
+def test_proper_on_suite(named_graph, algo_name, algo):
+    name, g, a = named_graph
+    if g.n == 0:
+        return
+    res = algo(g, a=a)
+    assert_proper_coloring(g, res.colors, max_colors=res.palette_bound)
+    assert set(res.colors) == set(g.vertices())
+
+
+@pytest.mark.parametrize("algo_name,algo", ALGOS, ids=[a for a, _ in ALGOS])
+def test_random_ids(forest_union_200, algo_name, algo):
+    ids = gen.random_ids(forest_union_200.n, seed=77)
+    res = algo(forest_union_200, a=3, ids=ids)
+    assert_proper_coloring(forest_union_200, res.colors, max_colors=res.palette_bound)
+
+
+@pytest.mark.parametrize("algo_name,algo", ALGOS, ids=[a for a, _ in ALGOS])
+def test_large_id_space(algo_name, algo):
+    g = gen.union_of_forests(120, 2, seed=3)
+    ids = gen.random_ids(g.n, seed=5, id_space=10**7)
+    res = algo(g, a=2, ids=ids)
+    assert_proper_coloring(g, res.colors, max_colors=res.palette_bound)
+
+
+class TestPaletteQuality:
+    def test_a2logn_palette_bound_shape(self):
+        """Theorem 7.2: O(a^2 log n) colors."""
+        g1 = gen.union_of_forests(200, 2, seed=1)
+        res = run_a2logn_coloring(g1, a=2)
+        # one cover-free step from an n-sized ID space
+        assert res.palette_bound <= 40 * 4 * max(g1.n.bit_length(), 1)
+
+    def test_a2_palette_independent_of_n(self):
+        """The 7.3 palette is 2 x the Linial fixpoint -- no log n factor:
+        it stays put while the 7.2 palette grows with the ID space."""
+        bounds_a2, bounds_a2logn = [], []
+        for n in (300, 600):
+            g = gen.union_of_forests(n, 2, seed=2)
+            ids = gen.random_ids(n, seed=1, id_space=n * n)
+            bounds_a2.append(run_a2_coloring(g, a=2, ids=ids).palette_bound)
+            bounds_a2logn.append(run_a2logn_coloring(g, a=2, ids=ids).palette_bound)
+        assert bounds_a2[0] == bounds_a2[1]
+        assert bounds_a2logn[1] >= bounds_a2logn[0]
+
+    def test_oa_palette_linear_in_a(self):
+        """Theorem 7.9: O(a) colors -- 2 * (A + 1) with A = (2+eps)a."""
+        for a in (1, 2, 4):
+            g = gen.union_of_forests(150, a, seed=3)
+            res = run_oa_coloring(g, a=a)
+            assert res.palette_bound == 2 * (int((2 + 1.0) * a) + 1)
+            assert res.colors_used <= res.palette_bound
+
+    def test_two_phase_split_grows_like_loglog(self):
+        assert two_phase_split(2**8, 1.0) < two_phase_split(2**64, 1.0) <= 12
+
+
+class TestAveragedComplexity:
+    def test_a2logn_average_constant(self):
+        """Theorem 7.2: O(1) vertex-averaged rounds, flat across scale."""
+        avgs = []
+        for n in (200, 1600):
+            g = gen.union_of_forests(n, 3, seed=4)
+            res = run_a2logn_coloring(g, a=3, eps=0.5)
+            avgs.append(res.metrics.vertex_averaged)
+        assert max(avgs) <= 1 + (2 + 0.5) / 0.5
+        assert abs(avgs[1] - avgs[0]) < 1.0
+
+    def test_a2_average_stays_far_below_worst_possible(self):
+        g = gen.union_of_forests(2000, 3, seed=5)
+        res = run_a2_coloring(g, a=3)
+        # the worst-case lower bound for this problem is Omega(log n)-ish;
+        # the measured average must sit well under the partition bound.
+        assert res.metrics.vertex_averaged < 8
+
+    def test_average_never_exceeds_worst(self, named_graph):
+        name, g, a = named_graph
+        if g.n == 0:
+            return
+        res = run_oa_coloring(g, a=a)
+        assert res.metrics.vertex_averaged <= res.metrics.worst_case
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("algo_name,algo", ALGOS, ids=[a for a, _ in ALGOS])
+    def test_repeatable(self, algo_name, algo):
+        g = gen.union_of_forests(100, 2, seed=6)
+        r1 = algo(g, a=2, seed=1)
+        r2 = algo(g, a=2, seed=1)
+        assert r1.colors == r2.colors
+        assert r1.metrics.rounds == r2.metrics.rounds

@@ -1,0 +1,86 @@
+"""Direct tests for the shared program plumbing (LocalView, bounds)."""
+
+import pytest
+
+from repro.core.common import (
+    JOIN,
+    LocalView,
+    absorb_round,
+    degree_bound,
+    partition_length_bound,
+)
+from repro.graphs.graph import Graph
+from repro.runtime.network import SyncNetwork
+
+
+def test_localview_last_payload_wins():
+    g = Graph(2, [(0, 1)])
+    seen = {}
+
+    def program(ctx):
+        view = LocalView()
+        ctx.send(1 - ctx.v, ("t", "first"))
+        ctx.send(1 - ctx.v, ("t", "second"))
+        yield
+        view.absorb(ctx)
+        seen[ctx.v] = view.value("t", 1 - ctx.v)
+        return None
+
+    SyncNetwork(g).run(program)
+    assert seen == {0: "second", 1: "second"}
+
+
+def test_localview_accumulates_across_rounds():
+    g = Graph(2, [(0, 1)])
+    out = {}
+
+    def program(ctx):
+        view = LocalView()
+        ctx.send(1 - ctx.v, (JOIN, 1))
+        yield
+        view.absorb(ctx)
+        ctx.send(1 - ctx.v, ("c", 9))
+        yield
+        view.absorb(ctx)
+        out[ctx.v] = (view.get(JOIN), view.get("c"), view.heard("c", 1 - ctx.v))
+        return None
+
+    SyncNetwork(g).run(program)
+    assert out[0] == ({1: 1}, {1: 9}, True)
+
+
+def test_localview_value_default():
+    view = LocalView()
+    assert view.value("missing", 3) is None
+    assert view.value("missing", 3, default=-1) == -1
+    assert view.get("missing") == {}
+    assert not view.heard("missing", 3)
+
+
+def test_absorb_round_helper():
+    g = Graph(2, [(0, 1)])
+    got = {}
+
+    def program(ctx):
+        view = LocalView()
+        ctx.broadcast(("x", ctx.v))
+        yield from absorb_round(ctx, view)
+        got[ctx.v] = view.value("x", 1 - ctx.v)
+        return None
+
+    SyncNetwork(g).run(program)
+    assert got == {0: 1, 1: 0}
+
+
+@pytest.mark.parametrize(
+    "a,eps,expected",
+    [(1, 1.0, 3), (2, 2.0, 8), (3, 0.25, 7), (5, 1.0, 15)],
+)
+def test_degree_bound_values(a, eps, expected):
+    assert degree_bound(a, eps) == expected
+
+
+def test_partition_length_bound_monotone_in_n_and_eps():
+    assert partition_length_bound(100, 1.0) <= partition_length_bound(10**6, 1.0)
+    # larger eps -> faster decay -> shorter bound
+    assert partition_length_bound(10**6, 2.0) <= partition_length_bound(10**6, 0.25)

@@ -1,0 +1,111 @@
+"""Tests for the extension framework's vertex problems (Corollaries
+8.3 / 8.4)."""
+
+import pytest
+
+from repro.core.extension import run_delta_plus_one_coloring, run_mis
+from repro.graphs import generators as gen
+from repro.verify import assert_maximal_independent_set, assert_proper_coloring
+
+
+class TestDeltaPlusOne:
+    def test_proper_on_suite(self, named_graph):
+        name, g, a = named_graph
+        if g.n == 0:
+            return
+        res = run_delta_plus_one_coloring(g, a=a)
+        assert_proper_coloring(g, res.colors, max_colors=res.palette_bound)
+
+    def test_palette_is_exactly_delta_plus_one(self):
+        g = gen.star_forest(5, 9)  # Delta = 9, arboricity 1
+        res = run_delta_plus_one_coloring(g, a=1)
+        assert res.palette_bound == 10
+        assert res.colors_used <= 10
+        assert all(0 <= c <= 9 for c in res.colors.values())
+
+    def test_star_uses_two_colors(self):
+        """Greedy along the priority order is color-frugal: a star needs
+        2 colors even though Delta + 1 is large."""
+        g = gen.star(30)
+        res = run_delta_plus_one_coloring(g, a=1)
+        assert res.colors_used == 2
+
+    def test_high_degree_low_arboricity_average_small(self):
+        """The row's point: the running time depends on a, not Delta."""
+        g = gen.caterpillar(200, 40)  # Delta = 42, a = 1
+        res = run_delta_plus_one_coloring(g, a=1)
+        assert res.metrics.vertex_averaged < 12
+
+    def test_random_ids(self, forest_union_200):
+        ids = gen.random_ids(forest_union_200.n, seed=3)
+        res = run_delta_plus_one_coloring(forest_union_200, a=3, ids=ids)
+        assert_proper_coloring(forest_union_200, res.colors, max_colors=res.palette_bound)
+
+    def test_deterministic(self, forest_union_200):
+        r1 = run_delta_plus_one_coloring(forest_union_200, a=3)
+        r2 = run_delta_plus_one_coloring(forest_union_200, a=3)
+        assert r1.colors == r2.colors
+
+
+class TestMIS:
+    def test_valid_on_suite(self, named_graph):
+        name, g, a = named_graph
+        if g.n == 0:
+            return
+        res = run_mis(g, a=a)
+        assert_maximal_independent_set(g, res.mis)
+
+    def test_every_vertex_decides(self, forest_union_200):
+        res = run_mis(forest_union_200, a=3)
+        assert set(res.in_mis) == set(forest_union_200.vertices())
+
+    def test_isolated_vertices_join(self):
+        from repro.graphs.graph import Graph
+
+        g = Graph(4, [(0, 1)])
+        res = run_mis(g, a=1)
+        assert res.in_mis[2] and res.in_mis[3]
+
+    def test_random_ids(self, forest_union_200):
+        ids = gen.random_ids(forest_union_200.n, seed=9)
+        res = run_mis(forest_union_200, a=3, ids=ids)
+        assert_maximal_independent_set(forest_union_200, res.mis)
+
+    def test_average_flat_across_scale(self):
+        """Corollary 8.4 shape: vertex-averaged rounds do not grow log n-like."""
+        avgs = []
+        for n in (250, 2000):
+            g = gen.union_of_forests(n, 2, seed=4)
+            res = run_mis(g, a=2)
+            avgs.append(res.metrics.vertex_averaged)
+        assert abs(avgs[1] - avgs[0]) < 2.5
+
+    def test_mis_differs_across_id_assignments(self):
+        """The solution (not its validity) depends on the ID assignment --
+        the measure maximizes over assignments for a reason."""
+        g = gen.ring(30)
+        m1 = run_mis(g, a=2, ids=gen.random_ids(30, seed=1)).mis
+        m2 = run_mis(g, a=2, ids=gen.random_ids(30, seed=2)).mis
+        assert m1 != m2
+
+
+class TestWorstcaseScheduleFlag:
+    def test_mis_worstcase_schedule(self, forest_union_200):
+        from repro.core.common import partition_length_bound
+
+        fast = run_mis(forest_union_200, a=3)
+        slow = run_mis(forest_union_200, a=3, worstcase_schedule=True)
+        assert_maximal_independent_set(forest_union_200, slow.mis)
+        ell = partition_length_bound(forest_union_200.n, 1.0)
+        assert slow.metrics.vertex_averaged >= ell
+        assert slow.metrics.vertex_averaged > fast.metrics.vertex_averaged + 3
+
+    def test_delta_plus_one_worstcase_schedule(self, forest_union_200):
+        fast = run_delta_plus_one_coloring(forest_union_200, a=3)
+        slow = run_delta_plus_one_coloring(
+            forest_union_200, a=3, worstcase_schedule=True
+        )
+        assert_proper_coloring(
+            forest_union_200, slow.colors, max_colors=slow.palette_bound
+        )
+        assert slow.metrics.vertex_averaged > fast.metrics.vertex_averaged + 3

@@ -1,0 +1,86 @@
+"""Tests for forest decompositions (Sections 6.1 / 7.1)."""
+
+from repro.core.forests import (
+    run_parallelized_forest_decomposition,
+    run_worstcase_forest_decomposition,
+)
+from repro.core.common import partition_length_bound
+from repro.graphs import generators as gen
+from repro.verify import (
+    assert_acyclic_orientation,
+    assert_forest_decomposition,
+    assert_h_partition,
+)
+
+
+class TestParallelized:
+    def test_valid_on_suite(self, named_graph):
+        name, g, a = named_graph
+        if g.n == 0:
+            return
+        fd = run_parallelized_forest_decomposition(g, a=a)
+        assert_h_partition(g, fd.h_index, fd.A)
+        o = fd.orientation()
+        assert_acyclic_orientation(o, max_out_degree=fd.A)
+        assert_forest_decomposition(
+            g, fd.edge_labels(), max_forests=fd.A, orientation=o
+        )
+
+    def test_labels_distinct_per_vertex(self, forest_union_200):
+        fd = run_parallelized_forest_decomposition(forest_union_200, a=3)
+        for v, info in fd.info.items():
+            labs = list(info.labels.values())
+            assert sorted(labs) == list(range(1, len(labs) + 1))
+
+    def test_num_forests_at_most_A(self, forest_union_200):
+        fd = run_parallelized_forest_decomposition(forest_union_200, a=3)
+        assert 1 <= fd.num_forests <= fd.A
+
+    def test_theorem_71_average_constant(self):
+        """Theorem 7.1: O(1) vertex-averaged complexity (== Partition + 1)."""
+        avgs = []
+        for n in (200, 800, 3200):
+            g = gen.union_of_forests(n, 3, seed=8)
+            fd = run_parallelized_forest_decomposition(g, a=3, eps=0.5)
+            avgs.append(fd.metrics.vertex_averaged)
+        assert max(avgs) <= 1 + (2 + 0.5) / 0.5
+        assert max(avgs) - min(avgs) < 1.0
+
+    def test_parents_are_consistent_with_h_order(self, forest_union_200):
+        fd = run_parallelized_forest_decomposition(forest_union_200, a=3)
+        for v, info in fd.info.items():
+            for p in info.parents:
+                hp, hv = fd.h_index[p], fd.h_index[v]
+                assert hp > hv or (hp == hv)
+
+
+class TestWorstcaseSchedule:
+    def test_same_decomposition_different_schedule(self):
+        g = gen.union_of_forests(150, 3, seed=9)
+        fast = run_parallelized_forest_decomposition(g, a=3)
+        slow = run_worstcase_forest_decomposition(g, a=3)
+        # identical combinatorial output ...
+        assert fast.h_index == slow.h_index
+        assert fast.edge_labels() == slow.edge_labels()
+        # ... but the worst-case schedule pays Theta(log n) for everyone
+        ell = partition_length_bound(g.n, 1.0)
+        assert slow.metrics.worst_case == ell + 1
+        assert slow.metrics.vertex_averaged == ell + 1
+        assert fast.metrics.vertex_averaged < slow.metrics.vertex_averaged / 3
+
+    def test_worstcase_average_grows_with_n(self):
+        avgs = []
+        for n in (200, 3200):
+            g = gen.union_of_forests(n, 3, seed=10)
+            fd = run_worstcase_forest_decomposition(g, a=3)
+            avgs.append(fd.metrics.vertex_averaged)
+        assert avgs[1] > avgs[0]  # Theta(log n) schedule
+
+    def test_worstcase_valid(self, forest_union_200):
+        fd = run_worstcase_forest_decomposition(forest_union_200, a=3)
+        assert_forest_decomposition(
+            forest_union_200,
+            fd.edge_labels(),
+            max_forests=fd.A,
+            orientation=fd.orientation(),
+        )

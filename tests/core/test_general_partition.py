@@ -1,0 +1,64 @@
+"""Tests for the unknown-arboricity reduction (Procedure General-Partition,
+referenced in Section 6.1)."""
+
+import pytest
+
+from repro.core.partition import run_general_partition, run_partition
+from repro.graphs import generators as gen
+from repro.graphs.arboricity import arboricity_exact
+from repro.verify import assert_h_partition
+
+
+def test_valid_h_partition_without_knowing_a(named_graph):
+    name, g, a = named_graph
+    if g.n == 0:
+        return
+    res = run_general_partition(g)
+    assert set(res.h_index) == set(g.vertices())
+    assert_h_partition(g, res.h_index, res.A)
+
+
+def test_estimate_within_factor_two_of_true_arboricity():
+    for a in (1, 2, 4, 6):
+        g = gen.union_of_forests(150, a, seed=a)
+        true_a = arboricity_exact(g)
+        res = run_general_partition(g)
+        assert res.a_estimate < 2 * max(true_a, 1) or res.a_estimate == 1
+
+
+def test_phases_are_monotone_guesses():
+    g = gen.gnp(120, 0.15, seed=3)  # arboricity well above 1
+    res = run_general_partition(g)
+    assert max(res.phase.values()) >= 1  # guess 1 cannot swallow this graph
+    # vertices joining in later phases have later global H-indices
+    by_phase = {}
+    for v, p in res.phase.items():
+        by_phase.setdefault(p, []).append(res.h_index[v])
+    phases = sorted(by_phase)
+    for p1, p2 in zip(phases, phases[1:]):
+        assert max(by_phase[p1]) < min(by_phase[p2])
+
+
+def test_average_stays_small_when_arboricity_is_small():
+    """On easy (a = 1) graphs the first guess succeeds and the averaged
+    cost matches plain Partition."""
+    g = gen.random_tree(400, seed=4)
+    known = run_partition(g, a=1)
+    unknown = run_general_partition(g)
+    assert unknown.metrics.vertex_averaged <= known.metrics.vertex_averaged + 1
+
+
+def test_average_pays_only_constant_factor_on_dense_graphs():
+    g = gen.union_of_forests(800, 4, seed=5)
+    known = run_partition(g, a=4)
+    unknown = run_general_partition(g)
+    # three doubling phases (1, 2, 4) at worst: bounded blow-up
+    assert unknown.metrics.vertex_averaged <= 60 * (known.metrics.vertex_averaged + 1)
+    assert unknown.metrics.vertex_averaged < 80
+
+
+def test_deterministic():
+    g = gen.gnp(100, 0.08, seed=6)
+    r1 = run_general_partition(g)
+    r2 = run_general_partition(g)
+    assert r1.h_index == r2.h_index and r1.phase == r2.phase

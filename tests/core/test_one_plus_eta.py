@@ -1,0 +1,113 @@
+"""Tests for Procedure One-Plus-Eta-Arb-Col and Procedure Legal-Coloring
+(Section 7.8.2)."""
+
+import pytest
+
+from repro.core.one_plus_eta import run_legal_coloring, run_one_plus_eta_coloring
+from repro.graphs import generators as gen
+from repro.verify import assert_proper_coloring
+
+
+class TestOnePlusEta:
+    def test_proper_on_suite(self, named_graph):
+        name, g, a = named_graph
+        if g.n == 0:
+            return
+        res = run_one_plus_eta_coloring(g, a=a, C=3)
+        assert_proper_coloring(g, res.colors)
+
+    @pytest.mark.parametrize("C", [2, 3, 6])
+    def test_various_C(self, C):
+        g = gen.union_of_forests(150, 5, seed=1)
+        res = run_one_plus_eta_coloring(g, a=5, C=C)
+        assert_proper_coloring(g, res.colors)
+
+    def test_rejects_bad_C(self):
+        with pytest.raises(ValueError):
+            run_one_plus_eta_coloring(gen.ring(5), a=2, C=1)
+
+    def test_recursion_exercised_on_high_arboricity(self):
+        """With a >= C the algorithm must actually split (paths longer than
+        the pure-base case)."""
+        g = gen.union_of_forests(200, 8, seed=2)
+        res = run_one_plus_eta_coloring(g, a=8, C=3)
+        assert_proper_coloring(g, res.colors)
+        paths = {c[0] for c in res.colors.values()}
+        assert any(len(p) >= 1 for p in paths)  # at least one split happened
+
+    def test_colors_subquadratic_in_a(self):
+        """The point of 7.8: far fewer colors than the O(a^2) algorithms
+        on high-arboricity inputs."""
+        a = 10
+        g = gen.union_of_forests(400, a, seed=3)
+        res = run_one_plus_eta_coloring(g, a=a, C=3)
+        assert res.colors_used < a * a
+
+    def test_deterministic(self):
+        g = gen.union_of_forests(120, 6, seed=4)
+        r1 = run_one_plus_eta_coloring(g, a=6, C=3)
+        r2 = run_one_plus_eta_coloring(g, a=6, C=3)
+        assert r1.colors == r2.colors
+        assert r1.metrics.rounds == r2.metrics.rounds
+
+    def test_random_ids(self):
+        g = gen.union_of_forests(150, 6, seed=5)
+        ids = gen.random_ids(g.n, seed=6)
+        res = run_one_plus_eta_coloring(g, a=6, C=3, ids=ids)
+        assert_proper_coloring(g, res.colors)
+
+
+class TestLegalColoring:
+    def test_proper_on_suite(self, named_graph):
+        name, g, a = named_graph
+        if g.n == 0:
+            return
+        res = run_legal_coloring(g, a=a, p=4)
+        assert_proper_coloring(g, res.colors)
+
+    def test_splits_until_arboricity_below_p(self):
+        g = gen.union_of_forests(250, 9, seed=7)
+        res = run_legal_coloring(g, a=9, p=4)
+        assert_proper_coloring(g, res.colors)
+        # with a=9 > p=4 at least one arbdefective split must occur
+        assert any(len(c[0]) >= 1 for c in res.colors.values())
+
+    def test_base_direct_when_a_below_p(self):
+        g = gen.grid(8, 8)
+        res = run_legal_coloring(g, a=2, p=4)
+        assert_proper_coloring(g, res.colors)
+        assert all(c[0] == () for c in res.colors.values())
+
+    def test_default_p(self):
+        g = gen.union_of_forests(100, 3, seed=8)
+        res = run_legal_coloring(g, a=3)
+        assert_proper_coloring(g, res.colors)
+
+
+class TestLegalBranch:
+    """Force the V \\ H -> Legal-Coloring transition (naturally requires
+    peeling depth > 2 log log n, i.e. enormous graphs) via r_override."""
+
+    def test_legal_branch_reached_and_proper(self):
+        # 7-ary tree with a=2, eps=1 (A=6 < 7): one leaf layer peels per
+        # round, so with r_override=1 the deeper layers fall into V \ H
+        # while a = C keeps the run on the non-base (splitting) branch.
+        g = gen.kary_tree(2401, 7)  # 4 full levels
+        res = run_one_plus_eta_coloring(g, a=2, C=2, r_override=1)
+        assert_proper_coloring(g, res.colors)
+        paths = {c[0] for c in res.colors.values()}
+        assert any(("L",) in p for p in paths), sorted(paths)[:5]
+
+    def test_legal_branch_with_recursion(self):
+        # higher arboricity so the eta split also happens before/after
+        from repro.graphs import generators as g2
+
+        g = g2.union_of_forests(500, 6, seed=9)
+        res = run_one_plus_eta_coloring(g, a=6, C=3, r_override=1)
+        assert_proper_coloring(g, res.colors)
+
+    def test_r_override_zero_sets_everyone_legal(self):
+        g = gen.kary_tree(200, 4)
+        res = run_one_plus_eta_coloring(g, a=3, C=3, r_override=0)
+        assert_proper_coloring(g, res.colors)
+        assert all(("L",) in c[0] for c in res.colors.values())

@@ -1,0 +1,143 @@
+"""Tests for Procedure Partition (Section 6.1): correctness of the
+H-partition, Lemma 6.1's decay, Theorem 6.3's O(1) average, and the
+composition of Corollary 6.4."""
+
+import pytest
+
+from repro.core.common import degree_bound, partition_length_bound
+from repro.core.partition import (
+    blocking_schedule,
+    compose_with_algorithm,
+    run_partition,
+)
+from repro.graphs import generators as gen
+from repro.runtime.program import wait_rounds
+from repro.verify import assert_h_partition
+
+
+class TestDegreeBound:
+    def test_values(self):
+        assert degree_bound(1, 1.0) == 3
+        assert degree_bound(3, 1.0) == 9
+        assert degree_bound(2, 0.5) == 5
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            degree_bound(0, 1.0)
+        with pytest.raises(ValueError):
+            degree_bound(2, 0.0)
+        with pytest.raises(ValueError):
+            degree_bound(2, 3.0)
+
+    def test_length_bound(self):
+        assert partition_length_bound(1, 1.0) == 1
+        b1 = partition_length_bound(1000, 1.0)
+        b2 = partition_length_bound(10**6, 1.0)
+        assert b1 < b2  # grows with n (log-shaped)
+
+
+class TestPartitionCorrectness:
+    def test_on_suite(self, named_graph):
+        name, g, a = named_graph
+        if g.n == 0:
+            return
+        res = run_partition(g, a=a)
+        assert set(res.h_index) == set(g.vertices())
+        assert_h_partition(g, res.h_index, res.A)
+
+    def test_h_sets_listing(self):
+        g = gen.union_of_forests(100, 2, seed=1)
+        res = run_partition(g, a=2)
+        sets = res.h_sets()
+        assert sum(len(s) for s in sets) == g.n
+        assert len(sets) == res.num_sets
+
+    def test_bounded_degree_graph_single_set(self):
+        g = gen.ring(50)  # degree 2 <= A for a=2
+        res = run_partition(g, a=2)
+        assert res.num_sets == 1
+        assert res.metrics.worst_case == 1
+
+    def test_worst_case_within_length_bound(self, forest_union_200):
+        res = run_partition(forest_union_200, a=3)
+        assert res.metrics.worst_case <= partition_length_bound(200, 1.0)
+
+    def test_id_assignment_does_not_change_h_sets(self):
+        # joining depends only on degrees, not on IDs
+        g = gen.union_of_forests(80, 3, seed=2)
+        r1 = run_partition(g, a=3, ids=gen.random_ids(80, seed=1))
+        r2 = run_partition(g, a=3, ids=gen.random_ids(80, seed=9))
+        assert r1.h_index == r2.h_index
+
+
+class TestLemma61Decay:
+    def test_active_counts_decay_bound(self):
+        """Lemma 6.1: n_i <= (2 / (2+eps))^(i-1) * n."""
+        for eps in (0.5, 1.0, 2.0):
+            g = gen.union_of_forests(400, 3, seed=3, density=1.0)
+            res = run_partition(g, a=3, eps=eps)
+            n = g.n
+            ratio = 2.0 / (2.0 + eps)
+            for i, n_i in enumerate(res.metrics.active_trace, start=1):
+                assert n_i <= ratio ** (i - 1) * n + 1e-9
+
+    def test_roundsum_linear(self):
+        """Lemma 6.2: RoundSum(V) = O(n) -- check the geometric-series
+        constant (2+eps)/eps."""
+        g = gen.union_of_forests(500, 3, seed=4)
+        eps = 1.0
+        res = run_partition(g, a=3, eps=eps)
+        assert res.metrics.round_sum <= (2 + eps) / eps * g.n
+
+
+class TestTheorem63Average:
+    def test_average_constant_across_scales(self):
+        """Theorem 6.3: the vertex-averaged complexity of Partition is O(1):
+        it does not grow as n grows 16-fold."""
+        avgs = []
+        for n in (250, 1000, 4000):
+            g = gen.union_of_forests(n, 3, seed=5)
+            res = run_partition(g, a=3, eps=0.5)
+            avgs.append(res.metrics.vertex_averaged)
+        assert max(avgs) <= (2 + 0.5) / 0.5  # the Lemma 6.2 constant
+        assert max(avgs) - min(avgs) < 1.0
+
+
+class TestComposition:
+    def test_blocking_schedule(self):
+        s = blocking_schedule(5)
+        assert [s(i) for i in (1, 2, 3)] == [1, 6, 11]
+        with pytest.raises(ValueError):
+            blocking_schedule(0)
+
+    def test_corollary_64_shape(self):
+        """Composing with a T_A-round dummy algorithm yields vertex-averaged
+        complexity O(T_A) (Corollary 6.4)."""
+        g = gen.union_of_forests(300, 3, seed=6)
+        t_aux = 7
+
+        def dummy(ctx, view, h, same):
+            yield from wait_rounds(ctx, t_aux)
+            return h
+
+        res = compose_with_algorithm(g, a=3, per_set_algorithm=dummy, t_aux=t_aux)
+        avg = res.metrics.vertex_averaged
+        # every vertex pays at least t_aux; the average stays O(t_aux)
+        assert t_aux <= avg <= 6 * (t_aux + 2)
+        assert set(res.outputs.values()) >= {1}
+
+    def test_composition_outputs_h_indices(self):
+        g = gen.grid(6, 6)
+
+        def report(ctx, view, h, same):
+            return (h, sorted(same))
+            yield  # pragma: no cover
+
+        res = compose_with_algorithm(g, a=2, per_set_algorithm=report, t_aux=1)
+        h_index = {v: out[0] for v, out in res.outputs.items()}
+        assert_h_partition(g, h_index, degree_bound(2, 1.0))
+        # same-set listings must be symmetric
+        for v, (h, same) in res.outputs.items():
+            for u in same:
+                assert res.outputs[u][0] == h
+                assert v in res.outputs[u][1]

@@ -1,0 +1,97 @@
+"""Tests for the randomized algorithms (Section 9)."""
+
+import pytest
+
+from repro.core.randomized import run_aloglogn_coloring, run_rand_delta_plus_one
+from repro.graphs import generators as gen
+from repro.verify import assert_proper_coloring
+
+
+class TestRandDeltaPlusOne:
+    def test_proper_on_suite(self, named_graph):
+        name, g, a = named_graph
+        if g.n == 0:
+            return
+        res = run_rand_delta_plus_one(g, seed=1)
+        assert_proper_coloring(g, res.colors, max_colors=res.palette_bound)
+
+    def test_palette_exact(self):
+        g = gen.gnp(100, 0.08, seed=2)
+        res = run_rand_delta_plus_one(g, seed=3)
+        assert res.palette_bound == g.max_degree() + 1
+
+    def test_different_seeds_different_colorings(self):
+        g = gen.gnp(100, 0.08, seed=2)
+        c1 = run_rand_delta_plus_one(g, seed=1).colors
+        c2 = run_rand_delta_plus_one(g, seed=2).colors
+        assert c1 != c2
+
+    def test_same_seed_reproducible(self):
+        g = gen.gnp(100, 0.08, seed=2)
+        assert (
+            run_rand_delta_plus_one(g, seed=5).colors
+            == run_rand_delta_plus_one(g, seed=5).colors
+        )
+
+    def test_theorem_91_average_flat_worst_grows(self):
+        """Theorem 9.1: the *same* executions have O(1)-flat averages while
+        the worst case grows with n (log n w.h.p.)."""
+        avgs, worsts = [], []
+        for n in (200, 3200):
+            g = gen.union_of_forests(n, 3, seed=4)
+            m = run_rand_delta_plus_one(g, seed=7).metrics
+            avgs.append(m.vertex_averaged)
+            worsts.append(m.worst_case)
+        assert abs(avgs[1] - avgs[0]) < 2.0
+        assert worsts[1] > worsts[0]
+        assert avgs[1] < worsts[1] / 3
+
+    def test_average_over_seeds_small(self):
+        g = gen.union_of_forests(500, 3, seed=5)
+        avgs = [
+            run_rand_delta_plus_one(g, seed=s).metrics.vertex_averaged
+            for s in range(5)
+        ]
+        assert sum(avgs) / len(avgs) < 8  # O(1) w.h.p., ~4.5 in practice
+
+
+class TestALogLogN:
+    def test_proper_on_suite(self, named_graph):
+        name, g, a = named_graph
+        if g.n == 0:
+            return
+        res = run_aloglogn_coloring(g, a=a, seed=1)
+        assert_proper_coloring(g, res.colors, max_colors=res.palette_bound)
+
+    def test_palette_bound_shape(self):
+        """Theorem 9.2: O(a log log n) colors."""
+        g = gen.union_of_forests(1000, 2, seed=2)
+        res = run_aloglogn_coloring(g, a=2, seed=3)
+        from math import floor
+        from repro.analysis.logstar import ilog
+
+        t = max(1, floor(2 * ilog(g.n, 2)))
+        assert res.palette_bound == (t + 1) * (int(3 * 2) + 1)
+
+    def test_theorem_92_average_flat(self):
+        avgs = []
+        for n in (300, 4800):
+            g = gen.union_of_forests(n, 3, seed=6)
+            res = run_aloglogn_coloring(g, a=3, seed=8)
+            avgs.append(res.metrics.vertex_averaged)
+        assert abs(avgs[1] - avgs[0]) < 2.5
+
+    def test_phase_tags_disjoint(self):
+        """Phase-1 colors are (c, h)-tuples, phase-2 colors plain ints --
+        provably disjoint palettes."""
+        g = gen.union_of_forests(600, 3, seed=7)
+        res = run_aloglogn_coloring(g, a=3, seed=9)
+        kinds = {type(c) for c in res.colors.values()}
+        assert tuple in kinds  # phase 1 always non-empty
+
+    def test_reproducible(self):
+        g = gen.union_of_forests(200, 2, seed=8)
+        assert (
+            run_aloglogn_coloring(g, a=2, seed=4).colors
+            == run_aloglogn_coloring(g, a=2, seed=4).colors
+        )

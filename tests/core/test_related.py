@@ -1,0 +1,122 @@
+"""Tests for the output-commit mechanism and the [12] reference results
+(leader election / ring coloring)."""
+
+import pytest
+
+from repro.graphs import generators as gen
+from repro.graphs.graph import Graph
+from repro.related import run_leader_election
+from repro.runtime.network import SyncNetwork
+
+
+class TestCommit:
+    def test_commit_records_round_and_value(self):
+        g = Graph(1)
+
+        def program(ctx):
+            yield
+            ctx.commit("answer")
+            yield
+            yield
+            return None
+
+        res = SyncNetwork(g).run(program)
+        assert res.outputs[0] == "answer"
+        assert res.output_rounds == (2,)
+        assert res.metrics.rounds == (4,)
+        assert res.output_metrics.vertex_averaged == 2.0
+
+    def test_no_commit_defaults_to_termination(self):
+        g = Graph(2, [(0, 1)])
+
+        def program(ctx):
+            yield
+            return ctx.v
+
+        res = SyncNetwork(g).run(program)
+        assert res.output_rounds == res.metrics.rounds
+
+    def test_double_commit_rejected(self):
+        g = Graph(1)
+
+        def program(ctx):
+            ctx.commit(1)
+            ctx.commit(2)
+            return None
+            yield  # pragma: no cover
+
+        with pytest.raises(RuntimeError, match="twice"):
+            SyncNetwork(g).run(program)
+
+    def test_conflicting_return_rejected(self):
+        g = Graph(1)
+
+        def program(ctx):
+            ctx.commit(1)
+            return 2
+            yield  # pragma: no cover
+
+        with pytest.raises(RuntimeError, match="after committing"):
+            SyncNetwork(g).run(program)
+
+    def test_matching_return_allowed(self):
+        g = Graph(1)
+
+        def program(ctx):
+            ctx.commit("x")
+            return "x"
+            yield  # pragma: no cover
+
+        assert SyncNetwork(g).run(program).outputs[0] == "x"
+
+
+class TestLeaderElection:
+    @pytest.mark.parametrize("n", [3, 7, 32, 128])
+    def test_elects_max_id(self, n):
+        g = gen.ring(n)
+        ids = gen.random_ids(n, seed=n)
+        res = run_leader_election(g, ids=ids)
+        assert ids[res.leader] == max(ids)
+        assert res.outputs[res.leader] == "leader"
+        assert sum(1 for o in res.outputs.values() if o == "leader") == 1
+
+    def test_needs_ring(self):
+        with pytest.raises(ValueError):
+            run_leader_election(Graph(2, [(0, 1)]))
+
+    def test_bad_successor(self):
+        g = gen.ring(5)
+        with pytest.raises(ValueError, match="not a neighbor"):
+            run_leader_election(g, successor=[2, 3, 4, 0, 1])
+
+    def test_feuilloley_gap(self):
+        """The [12] exponential gap: output-averaged O(log n) while
+        termination is Theta(n) for everyone."""
+        out_avgs, term_avgs = [], []
+        for n in (64, 512):
+            g = gen.ring(n)
+            res = run_leader_election(g, ids=gen.random_ids(n, seed=1))
+            out_avgs.append(res.output_metrics.vertex_averaged)
+            term_avgs.append(res.metrics.vertex_averaged)
+        # termination scales ~linearly (8x size -> ~8x rounds)
+        assert term_avgs[1] / term_avgs[0] > 4
+        # output average grows far slower than linearly
+        assert out_avgs[1] / out_avgs[0] < 3
+        assert out_avgs[1] < term_avgs[1] / 20
+
+    def test_sequential_ids_worst_layout(self):
+        # adversarially ordered IDs around the ring still work
+        n = 50
+        g = gen.ring(n)
+        res = run_leader_election(g, ids=list(range(n)))
+        assert res.leader == n - 1
+
+    def test_ring_coloring_has_no_gap_by_contrast(self):
+        """[12]'s negative result: for O(1)-coloring of rings the averaged
+        and worst-case complexities coincide -- unlike leader election."""
+        from repro.baselines import run_ring_three_coloring
+
+        g = gen.ring(512)
+        col = run_ring_three_coloring(g, ids=gen.random_ids(512, seed=2))
+        m = col.metrics
+        assert m.worst_case - m.vertex_averaged < 1.0

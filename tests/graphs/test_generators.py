@@ -1,0 +1,167 @@
+"""Tests for the workload generators: sizes, structure, and the
+properties (arboricity, degree) each family is chosen for."""
+
+import pytest
+
+from repro.graphs import generators as gen
+from repro.graphs.arboricity import arboricity_exact
+
+
+class TestDeterministicFamilies:
+    def test_ring(self):
+        g = gen.ring(7)
+        assert g.n == 7 and g.m == 7
+        assert g.max_degree() == 2
+        assert not g.is_forest()
+
+    def test_ring_too_small(self):
+        with pytest.raises(ValueError):
+            gen.ring(2)
+
+    def test_path(self):
+        g = gen.path(6)
+        assert g.m == 5 and g.is_forest()
+
+    def test_star(self):
+        g = gen.star(10)
+        assert g.degree(0) == 9 and g.is_forest()
+
+    def test_complete(self):
+        g = gen.complete(6)
+        assert g.m == 15 and g.max_degree() == 5
+
+    def test_complete_bipartite(self):
+        g = gen.complete_bipartite(2, 4)
+        assert g.m == 8
+        assert g.degree(0) == 4 and g.degree(2) == 2
+
+    def test_binary_tree(self):
+        g = gen.binary_tree(15)
+        assert g.is_forest() and g.m == 14
+        assert g.max_degree() == 3
+
+    def test_grid(self):
+        g = gen.grid(3, 4)
+        assert g.n == 12 and g.m == 3 * 3 + 2 * 4
+        assert g.max_degree() <= 4
+        assert arboricity_exact(g) == 2
+
+    def test_triangular_grid(self):
+        g = gen.triangular_grid(4, 4)
+        assert g.max_degree() <= 6
+        assert arboricity_exact(g) <= 3
+
+    def test_hypercube(self):
+        g = gen.hypercube(3)
+        assert g.n == 8 and g.m == 12
+        assert all(g.degree(v) == 3 for v in g.vertices())
+
+    def test_caterpillar(self):
+        g = gen.caterpillar(5, 3)
+        assert g.n == 5 + 15 and g.is_forest()
+        assert g.max_degree() == 5  # spine degree 2 + 3 legs
+
+    def test_star_forest(self):
+        g = gen.star_forest(3, 4)
+        assert g.n == 15 and g.m == 12
+        assert g.is_forest()
+        assert len(g.connected_components()) == 3
+
+
+class TestRandomFamilies:
+    def test_random_tree_is_tree(self):
+        g = gen.random_tree(50, seed=1)
+        assert g.is_forest() and g.m == 49
+        assert len(g.connected_components()) == 1
+
+    def test_random_tree_preferential(self):
+        g = gen.random_tree(50, seed=1, attachment="preferential")
+        assert g.is_forest() and g.m == 49
+
+    def test_random_tree_bad_attachment(self):
+        with pytest.raises(ValueError):
+            gen.random_tree(10, attachment="bogus")
+
+    def test_random_forest_components(self):
+        g = gen.random_forest(40, trees=5, seed=2)
+        assert g.is_forest()
+        assert len(g.connected_components()) == 5
+
+    def test_union_of_forests_arboricity(self):
+        for a in (1, 2, 4):
+            g = gen.union_of_forests(60, a, seed=3)
+            assert arboricity_exact(g) <= a
+
+    def test_union_of_forests_is_dense_enough(self):
+        g = gen.union_of_forests(200, 3, seed=4)
+        # Close to 3*(n-1) edges up to collision loss.
+        assert g.m > 2.2 * (g.n - 1)
+
+    def test_union_of_forests_density_param(self):
+        sparse = gen.union_of_forests(100, 3, seed=5, density=0.3)
+        dense = gen.union_of_forests(100, 3, seed=5, density=1.0)
+        assert sparse.m < dense.m
+
+    def test_union_of_forests_bad_a(self):
+        with pytest.raises(ValueError):
+            gen.union_of_forests(10, 0)
+
+    def test_gnp_determinism(self):
+        assert gen.gnp(50, 0.1, seed=6) == gen.gnp(50, 0.1, seed=6)
+        assert gen.gnp(50, 0.1, seed=6) != gen.gnp(50, 0.1, seed=7)
+
+    def test_gnp_extremes(self):
+        assert gen.gnp(10, 0.0).m == 0
+        assert gen.gnp(10, 1.0).m == 45
+
+    def test_gnp_bad_p(self):
+        with pytest.raises(ValueError):
+            gen.gnp(10, 1.5)
+
+    def test_gnp_expected_density(self):
+        g = gen.gnp(400, 0.02, seed=8)
+        expected = 0.02 * 400 * 399 / 2
+        assert 0.6 * expected < g.m < 1.4 * expected
+
+    def test_random_regular(self):
+        g = gen.random_regular(20, 3, seed=9)
+        assert g.n == 20
+        assert max(g.degree_sequence()) <= 3
+
+    def test_random_regular_parity(self):
+        with pytest.raises(ValueError):
+            gen.random_regular(5, 3)
+
+    def test_planted_partition_ring(self):
+        g = gen.planted_partition_ring(50, 10, seed=10)
+        assert g.n == 50 and g.m >= 50
+
+    def test_disjoint_union(self):
+        g = gen.disjoint_union([gen.ring(4), gen.path(3)])
+        assert g.n == 7 and g.m == 4 + 2
+        assert len(g.connected_components()) == 2
+
+
+class TestIDAssignments:
+    def test_sequential_ids(self):
+        assert gen.sequential_ids(4) == [0, 1, 2, 3]
+
+    def test_random_ids_permutation(self):
+        ids = gen.random_ids(100, seed=1)
+        assert sorted(ids) == list(range(100))
+        assert ids != list(range(100))
+
+    def test_random_ids_large_space(self):
+        ids = gen.random_ids(50, seed=2, id_space=10**6)
+        assert len(set(ids)) == 50
+        assert all(0 <= i < 10**6 for i in ids)
+
+    def test_random_ids_space_too_small(self):
+        with pytest.raises(ValueError):
+            gen.random_ids(10, id_space=5)
+
+    def test_adversarial_ids(self):
+        g = gen.star(8)
+        ids = gen.adversarial_ids_descending_degree(g)
+        assert ids[0] == 7  # the hub gets the highest ID
+        assert sorted(ids) == list(range(8))

@@ -1,0 +1,136 @@
+"""Unit tests for the static graph substrate."""
+
+import pytest
+
+from repro.graphs.graph import Graph, canonical_edge
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = Graph(0)
+        assert g.n == 0 and g.m == 0
+        assert g.max_degree() == 0
+        assert list(g.vertices()) == []
+
+    def test_vertices_without_edges(self):
+        g = Graph(5)
+        assert g.n == 5 and g.m == 0
+        assert all(g.degree(v) == 0 for v in g.vertices())
+
+    def test_basic_edges(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3)])
+        assert g.m == 3
+        assert g.neighbors(1) == (0, 2)
+        assert g.degree(1) == 2 and g.degree(0) == 1
+
+    def test_duplicate_edges_collapse(self):
+        g = Graph(3, [(0, 1), (1, 0), (0, 1)])
+        assert g.m == 1
+        assert g.degree(0) == 1
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            Graph(3, [(1, 1)])
+
+    def test_out_of_range_edge_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            Graph(3, [(0, 3)])
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(ValueError):
+            Graph(-1)
+
+    def test_canonical_edge(self):
+        assert canonical_edge(3, 1) == (1, 3)
+        assert canonical_edge(1, 3) == (1, 3)
+
+    def test_edges_sorted_canonical(self):
+        g = Graph(4, [(3, 2), (1, 0)])
+        assert g.edges() == ((0, 1), (2, 3))
+
+
+class TestAccessors:
+    def test_has_edge(self):
+        g = Graph(4, [(0, 1), (2, 3)])
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)
+        assert not g.has_edge(0, 2)
+
+    def test_neighbor_set(self):
+        g = Graph(4, [(0, 1), (0, 2)])
+        assert g.neighbor_set(0) == frozenset({1, 2})
+
+    def test_max_degree(self):
+        g = Graph(4, [(0, 1), (0, 2), (0, 3)])
+        assert g.max_degree() == 3
+
+    def test_degree_sequence(self):
+        g = Graph(3, [(0, 1)])
+        assert g.degree_sequence() == [1, 1, 0]
+
+    def test_equality_and_hash(self):
+        g1 = Graph(3, [(0, 1)])
+        g2 = Graph(3, [(1, 0)])
+        g3 = Graph(3, [(0, 2)])
+        assert g1 == g2 and hash(g1) == hash(g2)
+        assert g1 != g3
+        assert g1 != "not a graph"
+
+    def test_repr(self):
+        assert repr(Graph(3, [(0, 1)])) == "Graph(n=3, m=1)"
+
+
+class TestDerived:
+    def test_subgraph_reindexes(self):
+        g = Graph(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+        sub, index = g.subgraph([1, 2, 4])
+        assert sub.n == 3
+        assert index == {1: 0, 2: 1, 4: 2}
+        assert sub.edges() == ((0, 1),)  # only (1,2) survives
+
+    def test_subgraph_empty_selection(self):
+        g = Graph(3, [(0, 1)])
+        sub, index = g.subgraph([])
+        assert sub.n == 0 and index == {}
+
+    def test_edge_subgraph_degrees(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3)])
+        degs = g.edge_subgraph_degrees([0, 1, 2])
+        assert degs == {0: 1, 1: 2, 2: 1}
+
+    def test_line_graph_neighbors(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3)])
+        assert set(g.line_graph_neighbors((1, 2))) == {(0, 1), (2, 3)}
+
+    def test_connected_components(self):
+        g = Graph(5, [(0, 1), (2, 3)])
+        comps = g.connected_components()
+        assert comps == [[0, 1], [2, 3], [4]]
+
+    def test_is_forest_true(self):
+        assert Graph(4, [(0, 1), (1, 2), (1, 3)]).is_forest()
+        assert Graph(3).is_forest()
+
+    def test_is_forest_false(self):
+        assert not Graph(3, [(0, 1), (1, 2), (0, 2)]).is_forest()
+
+
+class TestInterop:
+    def test_networkx_roundtrip(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3)])
+        assert Graph.from_networkx(g.to_networkx()) == g
+
+    def test_from_networkx_relabels(self):
+        import networkx as nx
+
+        nxg = nx.Graph()
+        nxg.add_edge("b", "a")
+        g = Graph.from_networkx(nxg)
+        assert g.n == 2 and g.m == 1
+
+    def test_from_adjacency_mapping(self):
+        g = Graph.from_adjacency({0: [1], 1: [0, 2], 2: [1]})
+        assert g.n == 3 and g.m == 2
+
+    def test_from_adjacency_list(self):
+        g = Graph.from_adjacency([[1], [0]])
+        assert g.n == 2 and g.m == 1

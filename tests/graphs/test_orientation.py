@@ -1,0 +1,97 @@
+"""Tests for edge orientations (Section 5 objects)."""
+
+import pytest
+
+from repro.graphs import generators as gen
+from repro.graphs.graph import Graph
+from repro.graphs.orientation import (
+    Orientation,
+    orientation_by_order,
+    orientation_from_parent_lists,
+)
+
+
+class TestBasics:
+    def test_orient_and_head(self):
+        g = Graph(3, [(0, 1), (1, 2)])
+        o = Orientation(g)
+        o.orient(0, 1, 1)
+        assert o.head(0, 1) == 1 and o.head(1, 0) == 1
+        assert o.is_oriented(0, 1)
+        assert not o.is_oriented(1, 2)
+        assert o.head(1, 2) is None
+
+    def test_orient_non_edge_rejected(self):
+        g = Graph(3, [(0, 1)])
+        with pytest.raises(ValueError, match="not an edge"):
+            Orientation(g).orient(0, 2, 2)
+
+    def test_orient_bad_head_rejected(self):
+        g = Graph(3, [(0, 1)])
+        with pytest.raises(ValueError, match="not an endpoint"):
+            Orientation(g).orient(0, 1, 2)
+
+    def test_parents_children(self):
+        g = Graph(3, [(0, 1), (1, 2)])
+        o = Orientation(g, {(0, 1): 1, (1, 2): 1})
+        assert o.parents(0) == [1]
+        assert o.children(1) == [0, 2]
+        assert o.out_degree(1) == 0
+        assert o.max_out_degree() == 1
+
+    def test_is_total(self):
+        g = Graph(3, [(0, 1), (1, 2)])
+        o = Orientation(g, {(0, 1): 1})
+        assert not o.is_total()
+        o.orient(1, 2, 2)
+        assert o.is_total()
+
+    def test_oriented_edges(self):
+        g = Graph(2, [(0, 1)])
+        o = Orientation(g, {(0, 1): 0})
+        assert list(o.oriented_edges()) == [(1, 0)]
+
+
+class TestAcyclicity:
+    def test_path_orientation_acyclic(self):
+        g = gen.path(5)
+        o = orientation_by_order(g, list(range(5)))
+        assert o.is_acyclic()
+        assert o.length() == 4
+
+    def test_cycle_detected(self):
+        g = gen.ring(4)
+        o = Orientation(g)
+        for i in range(4):
+            o.orient(i, (i + 1) % 4, (i + 1) % 4)
+        assert not o.is_acyclic()
+        with pytest.raises(ValueError, match="cycle"):
+            o.length()
+
+    def test_ring_by_order_acyclic(self):
+        g = gen.ring(6)
+        o = orientation_by_order(g, list(range(6)))
+        assert o.is_acyclic()
+
+    def test_order_tie_rejected(self):
+        g = Graph(2, [(0, 1)])
+        with pytest.raises(ValueError, match="tie"):
+            orientation_by_order(g, [1, 1])
+
+    def test_length_star(self):
+        g = gen.star(5)
+        o = orientation_by_order(g, list(range(5)))
+        assert o.length() == 1
+
+    def test_from_parent_lists(self):
+        g = gen.path(4)
+        o = orientation_from_parent_lists(g, {0: [1], 1: [2], 2: [3]})
+        assert o.is_total() and o.is_acyclic()
+        assert o.parents(0) == [1]
+        assert o.max_out_degree() == 1
+
+    def test_empty_graph_orientation(self):
+        o = Orientation(Graph(0))
+        assert o.is_acyclic()
+        assert o.length() == 0
+        assert o.max_out_degree() == 0

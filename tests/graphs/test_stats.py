@@ -1,0 +1,71 @@
+"""Tests for graph statistics."""
+
+from repro.graphs import generators as gen
+from repro.graphs.graph import Graph
+from repro.graphs.stats import (
+    average_degree,
+    bfs_distances,
+    degree_histogram,
+    diameter_exact,
+    diameter_lower_bound,
+    eccentricity,
+    global_density,
+    summarize,
+)
+
+
+def test_degree_histogram():
+    g = gen.star(5)
+    assert degree_histogram(g) == {4: 1, 1: 4}
+
+
+def test_average_degree():
+    assert average_degree(gen.ring(10)) == 2.0
+    assert average_degree(Graph(0)) == 0.0
+
+
+def test_global_density():
+    assert global_density(gen.path(5)) == 1.0
+    assert global_density(Graph(1)) == 0.0
+
+
+def test_bfs_distances():
+    g = gen.path(5)
+    assert bfs_distances(g, 0) == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+
+
+def test_bfs_disconnected():
+    g = Graph(4, [(0, 1)])
+    assert set(bfs_distances(g, 0)) == {0, 1}
+
+
+def test_eccentricity():
+    g = gen.path(7)
+    assert eccentricity(g, 0) == 6
+    assert eccentricity(g, 3) == 3
+
+
+def test_diameter_exact_known():
+    assert diameter_exact(gen.path(9)) == 8
+    assert diameter_exact(gen.ring(8)) == 4
+    assert diameter_exact(gen.complete(5)) == 1
+    assert diameter_exact(gen.hypercube(4)) == 4
+
+
+def test_diameter_lower_bound_is_exact_on_trees():
+    for seed in range(4):
+        g = gen.random_tree(60, seed=seed)
+        assert diameter_lower_bound(g) == diameter_exact(g)
+
+
+def test_diameter_lower_bound_never_exceeds_exact():
+    g = gen.gnp(40, 0.12, seed=5)
+    assert diameter_lower_bound(g) <= diameter_exact(g)
+
+
+def test_summarize_fields():
+    s = summarize(gen.grid(4, 4))
+    assert s["n"] == 16 and s["m"] == 24
+    assert s["components"] == 1
+    assert s["degeneracy"] == 2
+    assert s["diameter_lb"] >= 6

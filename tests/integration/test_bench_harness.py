@@ -1,0 +1,93 @@
+"""Unit tests for the benchmark harness itself (workloads, runner,
+table renderers)."""
+
+import pytest
+
+import repro
+from repro.bench import WORKLOADS, make_workload, render_rows, render_table, summarize, sweep
+
+
+class TestWorkloads:
+    def test_all_workloads_build(self):
+        for name, wl in WORKLOADS.items():
+            g, a = wl(200, seed=0)
+            assert g.n > 0, name
+            assert a >= 1, name
+
+    def test_workloads_deterministic(self):
+        wl = make_workload("forest_union_a3")
+        assert wl(100, seed=1)[0] == wl(100, seed=1)[0]
+        assert wl(100, seed=1)[0] != wl(100, seed=2)[0]
+
+    def test_declared_arboricity_is_valid_bound(self):
+        from repro.graphs.arboricity import arboricity_exact
+
+        for name in ("forest_union_a2", "planar_grid", "caterpillar", "ring", "deep_tree"):
+            g, a = make_workload(name)(120, seed=0)
+            assert arboricity_exact(g) <= a, name
+
+    def test_unknown_workload(self):
+        with pytest.raises(KeyError, match="unknown workload"):
+            make_workload("nope")
+
+    def test_deep_tree_peels_slowly(self):
+        """The slow-peeling family really produces a deep H-partition."""
+        g, a = make_workload("deep_tree")(2000, seed=0)
+        res = repro.run_partition(g, a=a, eps=1.0)
+        assert res.num_sets >= 4
+
+
+class TestRunner:
+    def _series(self, ns=(100, 200)):
+        wl = make_workload("forest_union_a2")
+        return sweep(
+            "partition",
+            lambda g, a, ids, s: repro.run_partition(g, a=a, ids=ids),
+            wl,
+            ns,
+            seeds=2,
+        )
+
+    def test_sweep_points(self):
+        s = self._series()
+        assert s.ns == [100, 200]
+        assert all(p.avg_mean <= p.avg_max for p in s.points)
+        assert all(p.avg_mean <= p.worst_mean for p in s.points)
+
+    def test_fit_and_gap(self):
+        s = self._series((100, 200, 400))
+        fit = s.fit_avg()
+        assert fit.shape in ("O(1)", "O(log* n)")
+        assert s.final_gap() >= 1.0
+
+    def test_colors_of_hook(self):
+        wl = make_workload("forest_union_a2")
+        s = sweep(
+            "coloring",
+            lambda g, a, ids, _s: repro.run_a2logn_coloring(g, a=a, ids=ids),
+            wl,
+            (100,),
+            seeds=2,
+            colors_of=lambda r: r.colors_used,
+        )
+        assert s.points[0].colors >= 1
+
+    def test_summarize_line(self):
+        line = summarize(self._series())
+        assert "partition" in line and "gap x" in line
+
+
+class TestTables:
+    def test_render_table_alignment(self):
+        text = render_table("T", ["col", "x"], [[1, "long-value"], [22, "y"]])
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        widths = {len(l) for l in lines[1:]}
+        assert len(widths) == 1  # perfectly rectangular
+
+    def test_render_rows_with_and_without_baseline(self):
+        s = TestRunner()._series()
+        solo = render_rows("solo", s)
+        assert "fitted shape" in solo and "win at" not in solo
+        both = render_rows("both", s, s)
+        assert "win at n=200: x1.0" in both

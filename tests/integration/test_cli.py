@@ -1,0 +1,49 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import ALGORITHMS, BASELINES, build_parser, cmd_compare, cmd_list, cmd_run, main
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "algorithms:" in out and "workloads:" in out
+    assert "mis" in out and "forest_union_a3" in out
+
+
+@pytest.mark.parametrize("algo", ["partition", "a2logn", "mis", "matching"])
+def test_run_algorithms(algo, capsys):
+    assert main(["run", algo, "-n", "300"]) == 0
+    out = capsys.readouterr().out
+    assert "vertex-averaged" in out
+    assert algo in out
+
+
+def test_run_on_other_workload(capsys):
+    assert main(["run", "oa", "-n", "200", "--workload", "planar_grid"]) == 0
+    out = capsys.readouterr().out
+    assert "planar_grid" in out
+
+
+def test_compare(capsys):
+    assert main(["compare", "a2logn", "--sweep", "200,400", "--seeds", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "fitted shape" in out
+    assert "win at n=400" in out
+
+
+def test_unknown_algorithm_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "nonsense"])
+
+
+def test_missing_command_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_every_baseline_key_is_an_algorithm():
+    assert set(BASELINES) <= set(ALGORITHMS)

@@ -1,0 +1,111 @@
+"""Integration tests: algorithms composed, compared against each other,
+and validated end-to-end on shared workloads."""
+
+import pytest
+
+import repro
+from repro.graphs import generators as gen
+from repro.verify import (
+    assert_maximal_independent_set,
+    assert_maximal_matching,
+    assert_proper_coloring,
+    assert_proper_edge_coloring,
+)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return gen.union_of_forests(500, 3, seed=42)
+
+
+ALL_COLORINGS = [
+    ("a2logn", lambda g: repro.run_a2logn_coloring(g, a=3)),
+    ("a2", lambda g: repro.run_a2_coloring(g, a=3)),
+    ("oa", lambda g: repro.run_oa_coloring(g, a=3)),
+    ("ka2", lambda g: repro.run_ka2_coloring(g, a=3, k=2)),
+    ("ka", lambda g: repro.run_ka_coloring(g, a=3, k=2)),
+    ("one_plus_eta", lambda g: repro.run_one_plus_eta_coloring(g, a=3, C=3)),
+    ("delta_plus_one", lambda g: repro.run_delta_plus_one_coloring(g, a=3)),
+    ("rand_delta_plus_one", lambda g: repro.run_rand_delta_plus_one(g, seed=1)),
+    ("aloglogn", lambda g: repro.run_aloglogn_coloring(g, a=3, seed=1)),
+    ("legal", lambda g: repro.run_legal_coloring(g, a=3, p=4)),
+]
+
+
+@pytest.mark.parametrize("name,algo", ALL_COLORINGS, ids=[n for n, _ in ALL_COLORINGS])
+def test_every_coloring_proper_on_shared_workload(workload, name, algo):
+    res = algo(workload)
+    assert_proper_coloring(workload, res.colors)
+    assert res.metrics.vertex_averaged <= res.metrics.worst_case
+    assert res.metrics.check_active_trace()
+
+
+def test_color_frugality_ordering(workload):
+    """The paper's palette hierarchy on a constant-arboricity workload:
+    O(a)-flavoured palettes < O(a^2)-flavoured < O(a^2 log n)-flavoured."""
+    oa = repro.run_oa_coloring(workload, a=3)
+    a2 = repro.run_a2_coloring(workload, a=3)
+    a2logn = repro.run_a2logn_coloring(workload, a=3)
+    assert oa.palette_bound < a2.palette_bound <= a2logn.palette_bound * 2
+
+
+def test_mis_and_coloring_agree_on_structure(workload):
+    """A (Delta+1)-coloring's first color class is an independent set and
+    the MIS contains no adjacent pair: cross-validated via the verifiers."""
+    mis = repro.run_mis(workload, a=3)
+    assert_maximal_independent_set(workload, mis.mis)
+    col = repro.run_delta_plus_one_coloring(workload, a=3)
+    class0 = {v for v, c in col.colors.items() if c == 0}
+    for u, v in workload.edges():
+        assert not (u in class0 and v in class0)
+
+
+def test_edge_problems_consistent(workload):
+    ec = repro.run_edge_coloring(workload, a=3)
+    assert_proper_edge_coloring(workload, ec.edge_colors)
+    mm = repro.run_maximal_matching(workload, a=3)
+    assert_maximal_matching(workload, mm.matching)
+    # any single edge-color class is a matching (not necessarily maximal)
+    from collections import defaultdict
+
+    by_color = defaultdict(list)
+    for e, c in ec.edge_colors.items():
+        by_color[c].append(e)
+    touched = set()
+    cls = by_color[min(by_color)]
+    for u, v in cls:
+        assert u not in touched and v not in touched
+        touched.update((u, v))
+
+
+def test_partition_reused_consistently(workload):
+    """All partition-based algorithms agree on the H-decomposition (it is
+    a pure function of the topology and eps)."""
+    h1 = repro.run_partition(workload, a=3).h_index
+    h2 = repro.run_parallelized_forest_decomposition(workload, a=3).h_index
+    h3 = {v: h for v, h in repro.run_a2logn_coloring(workload, a=3).h_index.items()}
+    assert h1 == h2 == h3
+
+
+def test_disconnected_graph_all_algorithms():
+    g = gen.disjoint_union([gen.ring(10), gen.star(8), gen.path(5)])
+    assert_proper_coloring(g, repro.run_a2_coloring(g, a=2).colors)
+    assert_maximal_independent_set(g, repro.run_mis(g, a=2).mis)
+    assert_maximal_matching(g, repro.run_maximal_matching(g, a=2).matching)
+
+
+def test_running_with_loose_arboricity_bound_still_correct(workload):
+    """The algorithms only need an upper bound on a; a loose bound costs
+    colors, never correctness."""
+    tight = repro.run_oa_coloring(workload, a=3)
+    loose = repro.run_oa_coloring(workload, a=6)
+    assert_proper_coloring(workload, loose.colors, max_colors=loose.palette_bound)
+    assert loose.palette_bound > tight.palette_bound
+
+
+def test_adversarial_id_assignment(workload):
+    ids = gen.adversarial_ids_descending_degree(workload)
+    res = repro.run_delta_plus_one_coloring(workload, a=3, ids=ids)
+    assert_proper_coloring(workload, res.colors, max_colors=res.palette_bound)
+    mis = repro.run_mis(workload, a=3, ids=ids)
+    assert_maximal_independent_set(workload, mis.mis)

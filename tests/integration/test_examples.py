@@ -1,0 +1,67 @@
+"""Smoke tests for the example scripts: they must at least compile, and
+the fast ones run end-to-end with shrunken workloads."""
+
+import pathlib
+import py_compile
+
+
+import pytest
+
+EXAMPLES = sorted(
+    pathlib.Path(__file__).resolve().parents[2].joinpath("examples").glob("*.py")
+)
+
+
+def test_examples_exist():
+    names = {p.name for p in EXAMPLES}
+    assert {
+        "quickstart.py",
+        "energy_efficiency.py",
+        "pipeline_scheduling.py",
+        "bigdata_simulation.py",
+        "compare_all.py",
+    } <= names
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_examples_compile(path):
+    py_compile.compile(str(path), doraise=True)
+
+
+def test_quickstart_logic_small(capsys):
+    """Re-run the quickstart's content at a small scale."""
+    import repro
+    from repro.graphs import generators as gen
+    from repro.verify import assert_h_partition, assert_proper_coloring
+
+    g = gen.union_of_forests(300, 3, seed=0)
+    part = repro.run_partition(g, a=3)
+    assert_h_partition(g, part.h_index, part.A)
+    ours = repro.run_a2logn_coloring(g, a=3)
+    base = repro.run_arb_linial_worstcase(g, a=3)
+    assert_proper_coloring(g, ours.colors)
+    assert base.metrics.vertex_averaged > ours.metrics.vertex_averaged
+
+
+def test_energy_accounting_consistency():
+    """The energy example's pricing must equal RoundSum / message totals."""
+    import repro
+    from repro.graphs import generators as gen
+
+    g = gen.union_of_forests(300, 3, seed=3)
+    res = repro.run_oa_coloring(g, a=3)
+    m = res.metrics
+    assert m.round_sum == sum(m.rounds)
+    assert m.total_messages == sum(m.messages_per_round)
+
+
+def test_pipeline_quantiles_match_metrics():
+    import repro
+    from repro.graphs import generators as gen
+
+    g = gen.union_of_forests(400, 3, seed=5)
+    res = repro.run_mis(g, a=3)
+    t_b = 10
+    async_completion = [r + t_b for r in res.metrics.rounds]
+    assert max(async_completion) == res.metrics.worst_case + t_b
+    assert min(async_completion) >= 1 + t_b

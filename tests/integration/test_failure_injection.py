@@ -1,0 +1,123 @@
+"""Failure-injection tests: wrong parameters, model violations and
+liveness bugs must fail loudly, not silently corrupt results."""
+
+import pytest
+
+import repro
+from repro.core.coverfree import build_family
+from repro.graphs import generators as gen
+from repro.graphs.graph import Graph
+from repro.runtime.network import MaxRoundsExceeded, SyncNetwork
+
+
+class TestWrongParameters:
+    def test_underestimated_arboricity_stalls_loudly(self):
+        """Running Partition with a declared below the true arboricity can
+        stall (no vertex reaches degree <= A); the liveness guard raises
+        instead of looping forever."""
+        g = gen.complete(30)  # arboricity 15
+        with pytest.raises(MaxRoundsExceeded):
+            repro.run_partition(g, a=1)
+
+    def test_underestimated_arboricity_in_coloring(self):
+        g = gen.complete(24)
+        with pytest.raises(MaxRoundsExceeded):
+            repro.run_a2logn_coloring(g, a=1)
+
+    def test_overestimated_arboricity_is_safe(self):
+        """Too-large a costs palette, never correctness."""
+        g = gen.ring(40)
+        res = repro.run_a2_coloring(g, a=10)
+        from repro.verify import assert_proper_coloring
+
+        assert_proper_coloring(g, res.colors, max_colors=res.palette_bound)
+
+    def test_coverfree_pick_fails_loudly_when_bound_exceeded(self):
+        fam = build_family(64, 2)  # built for at most 2 neighbors
+        with pytest.raises(AssertionError, match="cover-free"):
+            fam.pick(0, list(range(1, 60)))
+
+
+class TestModelViolations:
+    def test_send_to_non_neighbor_rejected(self):
+        g = Graph(3, [(0, 1)])  # 0 and 2 are not adjacent
+
+        def program(ctx):
+            if ctx.v == 0:
+                ctx.send(2, "illegal")
+            yield
+            return None
+
+        with pytest.raises(ValueError, match="non-neighbor"):
+            SyncNetwork(g).run(program)
+
+    def test_yielding_values_rejected(self):
+        g = Graph(1)
+
+        def program(ctx):
+            yield {"messages": "wrong protocol"}
+            return None
+
+        with pytest.raises(RuntimeError, match="bare `yield`"):
+            SyncNetwork(g).run(program)
+
+    def test_infinite_program_hits_round_budget(self):
+        g = gen.ring(5)
+
+        def chatty(ctx):
+            while True:
+                ctx.broadcast("spam")
+                yield
+
+        with pytest.raises(MaxRoundsExceeded):
+            SyncNetwork(g).run(chatty, max_rounds=50)
+
+    def test_deadlocked_wave_detected(self):
+        """Two vertices each waiting for the other's announcement: the
+        guard converts the deadlock into a diagnosable exception."""
+        g = Graph(2, [(0, 1)])
+
+        def program(ctx):
+            from repro.core.arb_linial import priority_wave
+            from repro.core.common import LocalView
+
+            view = LocalView()
+            # cyclic predecessor relation: both wait for each other
+            value = yield from priority_wave(
+                ctx, view, [1 - ctx.v], "w", lambda pv: 0
+            )
+            return value
+
+        with pytest.raises(MaxRoundsExceeded):
+            SyncNetwork(g).run(program, max_rounds=30)
+
+
+class TestCrashedNeighborSemantics:
+    def test_early_terminator_does_not_wedge_neighbors(self):
+        """A vertex that terminates immediately (a 'crash' with output)
+        leaves neighbors able to complete: its halted-notice is the only
+        signal they need."""
+        g = gen.star(6)
+
+        def program(ctx):
+            if ctx.v != 0:
+                return "leaf-out"
+            # the hub waits for every leaf's termination notice
+            while len(ctx.halted) < ctx.degree:
+                yield
+            return sorted(ctx.halted.values())
+
+        res = SyncNetwork(g).run(program, max_rounds=10)
+        assert res.outputs[0] == ["leaf-out"] * 5
+
+    def test_validators_catch_corrupted_solutions(self):
+        """End-to-end: corrupt one vertex's color and the verifier that
+        guards every benchmark flags it."""
+        from repro.verify import VerificationError, assert_proper_coloring
+
+        g = gen.ring(20)
+        res = repro.run_a2_coloring(g, a=2)
+        bad = dict(res.colors)
+        bad[0] = bad[1]
+        with pytest.raises(VerificationError):
+            assert_proper_coloring(g, bad)

@@ -1,0 +1,66 @@
+"""Parameter-matrix coverage: the headline algorithms across the
+epsilon x ID-space x workload grid (every cell validated)."""
+
+import pytest
+
+import repro
+from repro.bench import make_workload
+from repro.graphs import generators as gen
+from repro.verify import (
+    assert_maximal_independent_set,
+    assert_maximal_matching,
+    assert_proper_coloring,
+)
+
+EPS_GRID = [0.25, 1.0, 2.0]
+ID_SPACES = [None, 10**6]  # permutation IDs vs sparse large-space IDs
+WORKLOADS = ["forest_union_a3", "planar_grid", "star_forest", "deep_tree"]
+
+
+def _ids(n, id_space, seed=3):
+    return gen.random_ids(n, seed=seed, id_space=id_space)
+
+
+@pytest.mark.parametrize("eps", EPS_GRID)
+@pytest.mark.parametrize("id_space", ID_SPACES, ids=["perm-ids", "sparse-ids"])
+def test_a2logn_matrix(eps, id_space):
+    g, a = make_workload("forest_union_a3")(250, seed=0)
+    res = repro.run_a2logn_coloring(g, a=a, eps=eps, ids=_ids(g.n, id_space))
+    assert_proper_coloring(g, res.colors, max_colors=res.palette_bound)
+
+
+@pytest.mark.parametrize("eps", EPS_GRID)
+@pytest.mark.parametrize("workload", WORKLOADS)
+def test_oa_matrix(eps, workload):
+    g, a = make_workload(workload)(250, seed=1)
+    res = repro.run_oa_coloring(g, a=a, eps=eps)
+    assert_proper_coloring(g, res.colors, max_colors=res.palette_bound)
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+@pytest.mark.parametrize("id_space", ID_SPACES, ids=["perm-ids", "sparse-ids"])
+def test_mis_matrix(workload, id_space):
+    g, a = make_workload(workload)(250, seed=2)
+    res = repro.run_mis(g, a=a, ids=_ids(g.n, id_space))
+    assert_maximal_independent_set(g, res.mis)
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+def test_matching_matrix(workload):
+    g, a = make_workload(workload)(250, seed=3)
+    res = repro.run_maximal_matching(g, a=a)
+    assert_maximal_matching(g, res.matching)
+
+
+@pytest.mark.parametrize("eps", EPS_GRID)
+def test_randomized_matrix(eps):
+    g, a = make_workload("forest_union_a3")(250, seed=4)
+    res = repro.run_aloglogn_coloring(g, a=a, eps=eps, seed=5)
+    assert_proper_coloring(g, res.colors, max_colors=res.palette_bound)
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+def test_segmentation_matrix(workload):
+    g, a = make_workload(workload)(250, seed=6)
+    res = repro.run_ka_coloring(g, a=a, k=2)
+    assert_proper_coloring(g, res.colors, max_colors=res.palette_bound)

@@ -1,0 +1,97 @@
+"""Exhaustive validation on *every* graph with up to 5 vertices (and a
+dense sample of 6-vertex graphs): the algorithms and the exact-arboricity
+oracle are checked against brute force, leaving no small-case corner
+untested."""
+
+import itertools
+
+import pytest
+
+import repro
+from repro.graphs.arboricity import arboricity_exact
+from repro.graphs.graph import Graph
+from repro.verify import (
+    assert_h_partition,
+    assert_maximal_independent_set,
+    assert_maximal_matching,
+    assert_proper_coloring,
+    assert_proper_edge_coloring,
+)
+
+
+def all_graphs(n: int):
+    pairs = list(itertools.combinations(range(n), 2))
+    for mask in range(1 << len(pairs)):
+        yield Graph(n, [e for i, e in enumerate(pairs) if mask >> i & 1])
+
+
+def brute_force_arboricity(g: Graph) -> int:
+    """Minimal k such that the edges split into k forests, by exhaustive
+    assignment with pruning."""
+    edges = list(g.edges())
+    if not edges:
+        return 0
+
+    def feasible(k: int) -> bool:
+        forests = [Graph(g.n) for _ in range(k)]
+        assignment = [[] for _ in range(k)]
+
+        def rec(i: int) -> bool:
+            if i == len(edges):
+                return True
+            for j in range(k):
+                cand = assignment[j] + [edges[i]]
+                if Graph(g.n, cand).is_forest():
+                    assignment[j] = cand
+                    if rec(i + 1):
+                        return True
+                    assignment[j] = cand[:-1]
+            return False
+
+        return rec(0)
+
+    k = 1
+    while not feasible(k):
+        k += 1
+    return k
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 4])
+def test_exhaustive_arboricity_matches_brute_force(n):
+    for g in all_graphs(n):
+        assert arboricity_exact(g) == brute_force_arboricity(g)
+
+
+def test_arboricity_brute_force_sample_n5():
+    import random
+
+    rng = random.Random(0)
+    graphs = list(all_graphs(5))
+    for g in rng.sample(graphs, 60):
+        assert arboricity_exact(g) == brute_force_arboricity(g)
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 4, 5])
+def test_exhaustive_partition_and_mis(n):
+    for idx, g in enumerate(all_graphs(n)):
+        a = max(1, arboricity_exact(g))
+        part = repro.run_partition(g, a=a)
+        assert_h_partition(g, part.h_index, part.A)
+        mis = repro.run_mis(g, a=a)
+        assert_maximal_independent_set(g, mis.mis)
+
+
+@pytest.mark.parametrize("n", [2, 3, 4, 5])
+def test_exhaustive_colorings_and_matchings(n):
+    for g in all_graphs(n):
+        a = max(1, arboricity_exact(g))
+        col = repro.run_a2logn_coloring(g, a=a)
+        assert_proper_coloring(g, col.colors, max_colors=col.palette_bound)
+        dp1 = repro.run_delta_plus_one_coloring(g, a=a)
+        assert_proper_coloring(g, dp1.colors, max_colors=g.max_degree() + 1)
+        mm = repro.run_maximal_matching(g, a=a)
+        assert_maximal_matching(g, mm.matching)
+        ec = repro.run_edge_coloring(g, a=a)
+        assert_proper_edge_coloring(
+            g, ec.edge_colors, max_colors=max(2 * g.max_degree() - 1, 1)
+        )

@@ -1,0 +1,141 @@
+"""Property-based tests (hypothesis): algorithm invariants over random
+graphs, ID assignments and parameters."""
+
+from hypothesis import given, settings, strategies as st
+
+import repro
+from repro.graphs import generators as gen
+from repro.graphs.arboricity import arboricity_exact, degeneracy
+from repro.verify import (
+    assert_h_partition,
+    assert_maximal_independent_set,
+    assert_maximal_matching,
+    assert_proper_coloring,
+    assert_proper_edge_coloring,
+)
+
+graphs = st.builds(
+    gen.gnp,
+    n=st.integers(min_value=1, max_value=40),
+    p=st.floats(min_value=0.0, max_value=0.35),
+    seed=st.integers(min_value=0, max_value=10**6),
+)
+
+eps_values = st.sampled_from([0.25, 0.5, 1.0, 2.0])
+
+
+def _a_bound(g):
+    return max(1, degeneracy(g))
+
+
+@settings(max_examples=30, deadline=None)
+@given(g=graphs, eps=eps_values)
+def test_partition_invariants(g, eps):
+    res = repro.run_partition(g, a=_a_bound(g), eps=eps)
+    assert_h_partition(g, res.h_index, res.A)
+    m = res.metrics
+    assert m.check_active_trace()
+    assert m.vertex_averaged <= m.worst_case
+    # Lemma 6.1 decay
+    ratio = 2.0 / (2.0 + eps)
+    for i, n_i in enumerate(m.active_trace, start=1):
+        assert n_i <= ratio ** (i - 1) * g.n + 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(g=graphs, seed=st.integers(min_value=0, max_value=1000))
+def test_coloring_invariants_random_ids(g, seed):
+    if g.n == 0:
+        return
+    ids = gen.random_ids(g.n, seed=seed, id_space=4 * g.n + 17)
+    res = repro.run_a2logn_coloring(g, a=_a_bound(g), ids=ids)
+    assert_proper_coloring(g, res.colors, max_colors=res.palette_bound)
+
+
+@settings(max_examples=20, deadline=None)
+@given(g=graphs)
+def test_oa_coloring_invariants(g):
+    if g.n == 0:
+        return
+    a = _a_bound(g)
+    res = repro.run_oa_coloring(g, a=a)
+    assert_proper_coloring(g, res.colors, max_colors=res.palette_bound)
+
+
+@settings(max_examples=20, deadline=None)
+@given(g=graphs)
+def test_mis_invariants(g):
+    if g.n == 0:
+        return
+    res = repro.run_mis(g, a=_a_bound(g))
+    assert_maximal_independent_set(g, res.mis)
+
+
+@settings(max_examples=15, deadline=None)
+@given(g=graphs)
+def test_matching_and_edge_coloring_invariants(g):
+    if g.n == 0:
+        return
+    a = _a_bound(g)
+    mm = repro.run_maximal_matching(g, a=a)
+    assert_maximal_matching(g, mm.matching)
+    ec = repro.run_edge_coloring(g, a=a)
+    assert_proper_edge_coloring(
+        g, ec.edge_colors, max_colors=max(2 * g.max_degree() - 1, 1)
+    )
+
+
+@settings(max_examples=15, deadline=None)
+@given(g=graphs, seed=st.integers(min_value=0, max_value=100))
+def test_randomized_invariants(g, seed):
+    if g.n == 0:
+        return
+    res = repro.run_rand_delta_plus_one(g, seed=seed)
+    assert_proper_coloring(g, res.colors, max_colors=g.max_degree() + 1)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=30),
+    a=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_one_plus_eta_invariants(n, a, seed):
+    g = gen.union_of_forests(n, a, seed=seed)
+    res = repro.run_one_plus_eta_coloring(g, a=a, C=3)
+    assert_proper_coloring(g, res.colors)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    g=graphs,
+    d=st.integers(min_value=0, max_value=4),
+)
+def test_defective_invariants(g, d):
+    if g.n == 0:
+        return
+    res = repro.run_defective_coloring(g, d=d)
+    from repro.verify import assert_defective_coloring
+
+    assert_defective_coloring(g, res.colors, max_defect=d, max_colors=res.palette_bound)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n=st.integers(min_value=3, max_value=200),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_ring_three_coloring_invariants(n, seed):
+    g = gen.ring(n)
+    ids = gen.random_ids(n, seed=seed, id_space=2 * n + 3)
+    res = repro.run_ring_three_coloring(g, ids=ids)
+    assert_proper_coloring(g, res.colors, max_colors=3)
+
+
+@settings(max_examples=12, deadline=None)
+@given(g=graphs, k=st.integers(min_value=1, max_value=3))
+def test_segmentation_invariants(g, k):
+    if g.n == 0:
+        return
+    res = repro.run_ka2_coloring(g, a=_a_bound(g), k=k)
+    assert_proper_coloring(g, res.colors, max_colors=res.palette_bound)

@@ -1,0 +1,280 @@
+"""Tests for the synchronous round engine: the model semantics every
+complexity measurement rests on."""
+
+import pytest
+
+from repro.graphs import generators as gen
+from repro.graphs.graph import Graph
+from repro.runtime.network import MaxRoundsExceeded, SyncNetwork
+
+
+def test_immediate_termination_is_one_round():
+    g = Graph(3, [(0, 1), (1, 2)])
+
+    def program(ctx):
+        return ctx.id
+        yield  # pragma: no cover
+
+    res = SyncNetwork(g).run(program)
+    assert res.metrics.rounds == (1, 1, 1)
+    assert res.outputs == {0: 0, 1: 1, 2: 2}
+
+
+def test_rounds_count_yields_plus_one():
+    g = Graph(2, [(0, 1)])
+
+    def program(ctx):
+        yield
+        yield
+        return "done"
+
+    res = SyncNetwork(g).run(program)
+    assert res.metrics.rounds == (3, 3)
+
+
+def test_message_delivered_next_round():
+    g = Graph(2, [(0, 1)])
+    log = {}
+
+    def program(ctx):
+        ctx.send(1 - ctx.v, f"hello from {ctx.v}")
+        assert ctx.inbox == {}  # nothing before the first round ends
+        yield
+        log[ctx.v] = dict(ctx.inbox)
+        return None
+
+    SyncNetwork(g).run(program)
+    assert log[0] == {1: ["hello from 1"]}
+    assert log[1] == {0: ["hello from 0"]}
+
+
+def test_multiple_sends_bundle_in_order():
+    g = Graph(2, [(0, 1)])
+    seen = {}
+
+    def program(ctx):
+        ctx.send(1 - ctx.v, "a")
+        ctx.send(1 - ctx.v, "b")
+        yield
+        seen[ctx.v] = ctx.inbox[1 - ctx.v]
+        return None
+
+    SyncNetwork(g).run(program)
+    assert seen[0] == ["a", "b"]
+
+
+def test_broadcast_reaches_all_active_neighbors():
+    g = gen.star(4)
+    got = {}
+
+    def program(ctx):
+        if ctx.v == 0:
+            ctx.broadcast("ping")
+        yield
+        got[ctx.v] = ctx.inbox.get(0)
+        return None
+
+    SyncNetwork(g).run(program)
+    assert got[1] == got[2] == got[3] == ["ping"]
+    assert got[0] is None
+
+
+def test_termination_notice_carries_output():
+    g = Graph(2, [(0, 1)])
+    observed = {}
+
+    def program(ctx):
+        if ctx.v == 0:
+            return "final-0"
+        yield
+        observed["halted"] = dict(ctx.halted)
+        observed["newly"] = set(ctx.newly_halted)
+        return "final-1"
+
+    SyncNetwork(g).run(program)
+    assert observed["halted"] == {0: "final-0"}
+    assert observed["newly"] == {0}
+
+
+def test_newly_halted_cleared_after_one_round():
+    g = Graph(2, [(0, 1)])
+    snaps = []
+
+    def program(ctx):
+        if ctx.v == 0:
+            return None
+        yield
+        snaps.append(set(ctx.newly_halted))
+        yield
+        snaps.append(set(ctx.newly_halted))
+        return None
+
+    SyncNetwork(g).run(program)
+    assert snaps == [{0}, set()]
+
+
+def test_sends_to_halted_neighbors_dropped():
+    g = Graph(2, [(0, 1)])
+
+    def program(ctx):
+        if ctx.v == 0:
+            return None
+        yield
+        ctx.send(0, "too late")  # 0 already terminated
+        yield
+        return None
+
+    res = SyncNetwork(g).run(program)
+    # no crash; the message never counts as delivered to a live vertex
+    assert res.outputs[1] is None
+
+
+def test_active_degree_tracks_halting():
+    g = gen.star(4)
+    seen = []
+
+    def program(ctx):
+        if ctx.v != 0:
+            return None
+        seen.append(ctx.active_degree())
+        yield
+        seen.append(ctx.active_degree())
+        return None
+
+    SyncNetwork(g).run(program)
+    assert seen == [3, 0]
+
+
+def test_message_sent_in_final_round_is_delivered():
+    g = Graph(2, [(0, 1)])
+    got = {}
+
+    def program(ctx):
+        if ctx.v == 0:
+            ctx.broadcast("parting gift")
+            return None
+        yield
+        got["msg"] = ctx.inbox.get(0)
+        return None
+
+    SyncNetwork(g).run(program)
+    assert got["msg"] == ["parting gift"]
+
+
+def test_active_trace_and_roundsum_consistency():
+    g = gen.path(6)
+
+    def program(ctx):
+        # vertex v terminates in round v + 1
+        for _ in range(ctx.v):
+            yield
+        return None
+
+    res = SyncNetwork(g).run(program)
+    m = res.metrics
+    assert m.rounds == (1, 2, 3, 4, 5, 6)
+    assert m.active_trace == (6, 5, 4, 3, 2, 1)
+    assert m.check_active_trace()
+    assert m.round_sum == 21
+    assert m.vertex_averaged == 3.5
+    assert m.worst_case == 6
+
+
+def test_distinct_ids_required():
+    g = Graph(2, [(0, 1)])
+    with pytest.raises(ValueError, match="distinct"):
+        SyncNetwork(g, ids=[1, 1])
+
+
+def test_id_length_checked():
+    g = Graph(2, [(0, 1)])
+    with pytest.raises(ValueError, match="length"):
+        SyncNetwork(g, ids=[1])
+
+
+def test_custom_ids_visible_to_programs():
+    g = Graph(2, [(0, 1)])
+    seen = {}
+
+    def program(ctx):
+        seen[ctx.v] = (ctx.id, dict(ctx.neighbor_ids))
+        return None
+        yield  # pragma: no cover
+
+    SyncNetwork(g, ids=[10, 20]).run(program)
+    assert seen[0] == (10, {1: 20})
+    assert seen[1] == (20, {0: 10})
+
+
+def test_config_defaults():
+    g = Graph(3, [(0, 1)])
+    net = SyncNetwork(g, ids=[5, 9, 2], config={"a": 7})
+    assert net.config["n"] == 3
+    assert net.config["id_space"] == 10
+    assert net.config["a"] == 7
+
+
+def test_max_rounds_guard():
+    g = Graph(1)
+
+    def forever(ctx):
+        while True:
+            yield
+
+    with pytest.raises(MaxRoundsExceeded):
+        SyncNetwork(g).run(forever, max_rounds=10)
+
+
+def test_non_generator_program_rejected():
+    g = Graph(1)
+    with pytest.raises(TypeError):
+        SyncNetwork(g).run(lambda ctx: 42)
+
+
+def test_empty_graph_run():
+    res = SyncNetwork(Graph(0)).run(lambda ctx: iter(()))
+    assert res.outputs == {}
+    assert res.metrics.vertex_averaged == 0.0
+
+
+def test_determinism_same_seed():
+    g = gen.gnp(30, 0.1, seed=1)
+
+    def program(ctx):
+        vals = []
+        for _ in range(3):
+            ctx.broadcast(ctx.rng.random())
+            yield
+            vals.append(tuple(sorted((u, tuple(m)) for u, m in ctx.inbox.items())))
+        return (ctx.rng.random(), tuple(vals))
+
+    r1 = SyncNetwork(g, seed=42).run(program)
+    r2 = SyncNetwork(g, seed=42).run(program)
+    r3 = SyncNetwork(g, seed=43).run(program)
+    assert r1.outputs == r2.outputs
+    assert r1.outputs != r3.outputs
+
+
+def test_per_vertex_rng_independent():
+    g = Graph(2)
+
+    def program(ctx):
+        return ctx.rng.random()
+        yield  # pragma: no cover
+
+    res = SyncNetwork(g).run(program)
+    assert res.outputs[0] != res.outputs[1]
+
+
+def test_message_counts():
+    g = gen.ring(4)
+
+    def program(ctx):
+        ctx.broadcast("x")
+        yield
+        return None
+
+    res = SyncNetwork(g).run(program)
+    # round 1: 4 vertices x 2 neighbors = 8; round 2: 4 halt notices
+    assert res.metrics.messages_per_round[0] == 8
+    assert res.metrics.total_messages >= 8

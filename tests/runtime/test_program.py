@@ -1,0 +1,73 @@
+"""Tests for the program-writing helpers."""
+
+from repro.graphs.graph import Graph
+from repro.runtime.network import SyncNetwork
+from repro.runtime.program import collect_from, exchange, wait_rounds, wait_until_round
+
+
+def test_wait_rounds():
+    g = Graph(1)
+
+    def program(ctx):
+        yield from wait_rounds(ctx, 4)
+        return ctx.round
+
+    res = SyncNetwork(g).run(program)
+    assert res.outputs[0] == 5
+    assert res.metrics.rounds == (5,)
+
+
+def test_wait_until_round():
+    g = Graph(1)
+
+    def program(ctx):
+        yield from wait_until_round(ctx, 7)
+        assert ctx.round == 7
+        yield from wait_until_round(ctx, 3)  # already past: no-op
+        return ctx.round
+
+    res = SyncNetwork(g).run(program)
+    assert res.outputs[0] == 7
+
+
+def test_exchange():
+    g = Graph(2, [(0, 1)])
+
+    def program(ctx):
+        replies = yield from exchange(ctx, f"v{ctx.v}")
+        return replies
+
+    res = SyncNetwork(g).run(program)
+    assert res.outputs[0] == {1: "v1"}
+    assert res.outputs[1] == {0: "v0"}
+
+
+def test_collect_from_messages():
+    g = Graph(3, [(0, 1), (0, 2)])
+
+    def program(ctx):
+        if ctx.v != 0:
+            yield from wait_rounds(ctx, ctx.v)  # stagger senders
+            ctx.send(0, f"data-{ctx.v}")
+            yield
+            return None
+        store = {}
+        yield from collect_from(ctx, {1, 2}, store)
+        return store
+
+    res = SyncNetwork(g).run(program)
+    assert res.outputs[0] == {1: "data-1", 2: "data-2"}
+
+
+def test_collect_from_halted_outputs():
+    g = Graph(2, [(0, 1)])
+
+    def program(ctx):
+        if ctx.v == 1:
+            return "one's output"
+        store = {}
+        yield from collect_from(ctx, {1}, store)
+        return store
+
+    res = SyncNetwork(g).run(program)
+    assert res.outputs[0] == {1: "one's output"}

@@ -1,0 +1,92 @@
+"""Tests for the execution tracer."""
+
+from repro.core.common import LocalView
+from repro.core.partition import join_h_set
+from repro.graphs import generators as gen
+from repro.graphs.graph import Graph
+from repro.runtime.network import SyncNetwork
+from repro.runtime.trace import Trace, traced
+
+
+def test_trace_records_terminations_per_round():
+    g = gen.path(4)
+
+    def program(ctx):
+        for _ in range(ctx.v):
+            yield
+        return None
+
+    trace = Trace()
+    res = SyncNetwork(g).run(traced(program, trace))
+    assert trace.terminations_per_round() == [1, 1, 1, 1]
+    assert trace.termination_rounds() == {0: 1, 1: 2, 2: 3, 3: 4}
+    # the trace agrees with the metrics
+    assert trace.termination_rounds() == {
+        v: r for v, r in enumerate(res.metrics.rounds)
+    }
+
+
+def test_trace_counts_messages():
+    g = gen.ring(4)
+
+    def program(ctx):
+        ctx.broadcast("x")
+        yield
+        return None
+
+    trace = Trace()
+    SyncNetwork(g).run(traced(program, trace))
+    assert trace.messages_per_round()[0] == 8
+
+
+def test_trace_records_commits():
+    g = Graph(2, [(0, 1)])
+
+    def program(ctx):
+        yield
+        ctx.commit("v")
+        yield
+        return None
+
+    trace = Trace()
+    SyncNetwork(g).run(traced(program, trace))
+    assert sorted(trace.records[1].committed) == [0, 1]
+
+
+def test_trace_partition_matches_decay():
+    """Per-round terminations of Partition mirror the active-trace decay
+    the averaged analysis rests on."""
+    g = gen.union_of_forests(300, 3, seed=1)
+    trace = Trace()
+    from repro.core.common import degree_bound
+
+    A = degree_bound(3, 1.0)
+
+    def program(ctx):
+        view = LocalView()
+        h = yield from join_h_set(ctx, view, A)
+        return h
+
+    res = SyncNetwork(g).run(traced(program, trace))
+    per_round = trace.terminations_per_round()
+    assert sum(per_round) == g.n
+    # reconstruct n_i from the trace and compare with the engine's record
+    actives = []
+    alive = g.n
+    for t in per_round:
+        actives.append(alive)
+        alive -= t
+    assert tuple(actives) == res.metrics.active_trace
+
+
+def test_narrative_renders():
+    g = gen.path(3)
+
+    def program(ctx):
+        yield
+        return None
+
+    trace = Trace()
+    SyncNetwork(g).run(traced(program, trace))
+    text = trace.narrative()
+    assert "round" in text and "terminated" in text

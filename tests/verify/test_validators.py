@@ -1,0 +1,218 @@
+"""Tests for the solution validators themselves (a wrong validator would
+silently bless wrong algorithms, so they get their own adversarial tests)."""
+
+import pytest
+
+from repro.graphs import generators as gen
+from repro.graphs.graph import Graph
+from repro.graphs.orientation import Orientation, orientation_by_order
+from repro.verify import (
+    VerificationError,
+    assert_acyclic_orientation,
+    assert_defective_coloring,
+    assert_forest_decomposition,
+    assert_h_partition,
+    assert_list_coloring,
+    assert_maximal_independent_set,
+    assert_maximal_matching,
+    assert_proper_coloring,
+    assert_proper_edge_coloring,
+    color_count,
+    defect_of,
+)
+from repro.verify.structures import assert_arbdefective_coloring, assert_partition_covers
+
+
+@pytest.fixture
+def p3():
+    return gen.path(3)  # 0 - 1 - 2
+
+
+class TestProperColoring:
+    def test_accepts_valid(self, p3):
+        assert_proper_coloring(p3, {0: "a", 1: "b", 2: "a"})
+
+    def test_rejects_monochromatic_edge(self, p3):
+        with pytest.raises(VerificationError, match="monochromatic"):
+            assert_proper_coloring(p3, {0: 1, 1: 1, 2: 2})
+
+    def test_rejects_missing_vertex(self, p3):
+        with pytest.raises(VerificationError, match="without a color"):
+            assert_proper_coloring(p3, {0: 1, 1: 2})
+
+    def test_rejects_none_color(self, p3):
+        with pytest.raises(VerificationError):
+            assert_proper_coloring(p3, {0: 1, 1: None, 2: 1})
+
+    def test_color_budget(self, p3):
+        with pytest.raises(VerificationError, match="colors"):
+            assert_proper_coloring(p3, {0: 1, 1: 2, 2: 3}, max_colors=2)
+
+    def test_color_count(self):
+        assert color_count({0: "x", 1: "y", 2: "x"}) == 2
+
+
+class TestListColoring:
+    def test_accepts(self, p3):
+        assert_list_coloring(p3, {0: 1, 1: 2, 2: 1}, {0: {1}, 1: {2}, 2: {1, 3}})
+
+    def test_rejects_off_list(self, p3):
+        with pytest.raises(VerificationError, match="not in its list"):
+            assert_list_coloring(p3, {0: 1, 1: 2, 2: 1}, {0: {1}, 1: {2}, 2: {3}})
+
+
+class TestEdgeColoring:
+    def test_accepts(self, p3):
+        assert_proper_edge_coloring(p3, {(0, 1): 1, (1, 2): 2})
+
+    def test_rejects_conflict_at_endpoint(self, p3):
+        with pytest.raises(VerificationError, match="share endpoint"):
+            assert_proper_edge_coloring(p3, {(0, 1): 1, (1, 2): 1})
+
+    def test_rejects_uncolored_edge(self, p3):
+        with pytest.raises(VerificationError, match="no color"):
+            assert_proper_edge_coloring(p3, {(0, 1): 1})
+
+    def test_budget(self, p3):
+        with pytest.raises(VerificationError):
+            assert_proper_edge_coloring(p3, {(0, 1): 1, (1, 2): 2}, max_colors=1)
+
+
+class TestDefective:
+    def test_defect_of(self):
+        g = gen.star(4)
+        col = {0: 1, 1: 1, 2: 1, 3: 2}
+        assert defect_of(g, col, 0) == 2
+        assert defect_of(g, col, 1) == 1  # leaf sharing the hub's color
+        assert defect_of(g, col, 3) == 0
+
+    def test_accepts_within_defect(self):
+        g = gen.ring(4)
+        assert_defective_coloring(g, {0: 1, 1: 1, 2: 1, 3: 1}, max_defect=2)
+
+    def test_rejects_excess_defect(self):
+        g = gen.star(5)
+        with pytest.raises(VerificationError, match="defect"):
+            assert_defective_coloring(g, {v: 1 for v in range(5)}, max_defect=3)
+
+
+class TestMIS:
+    def test_accepts(self, p3):
+        assert_maximal_independent_set(p3, {1})
+        assert_maximal_independent_set(p3, {0, 2})
+
+    def test_rejects_dependent(self, p3):
+        with pytest.raises(VerificationError, match="adjacent"):
+            assert_maximal_independent_set(p3, {0, 1})
+
+    def test_rejects_non_maximal(self, p3):
+        with pytest.raises(VerificationError, match="no MIS neighbor"):
+            assert_maximal_independent_set(p3, {0})
+
+    def test_rejects_non_vertex(self, p3):
+        with pytest.raises(VerificationError, match="non-vertex"):
+            assert_maximal_independent_set(p3, {7})
+
+    def test_isolated_vertices_must_join(self):
+        g = Graph(2)
+        with pytest.raises(VerificationError):
+            assert_maximal_independent_set(g, {0})
+        assert_maximal_independent_set(g, {0, 1})
+
+
+class TestMatching:
+    def test_accepts(self):
+        g = gen.path(4)
+        assert_maximal_matching(g, {(0, 1), (2, 3)})
+
+    def test_rejects_intersecting(self, p3):
+        with pytest.raises(VerificationError, match="intersect"):
+            assert_maximal_matching(p3, {(0, 1), (1, 2)})
+
+    def test_rejects_non_maximal(self):
+        g = gen.path(5)
+        with pytest.raises(VerificationError, match="not maximal"):
+            assert_maximal_matching(g, {(1, 2)})
+
+    def test_rejects_non_edge(self, p3):
+        with pytest.raises(VerificationError, match="not in G"):
+            assert_maximal_matching(p3, {(0, 2)})
+
+    def test_rejects_duplicate(self, p3):
+        with pytest.raises(VerificationError, match="repeated|intersect"):
+            assert_maximal_matching(p3, [(0, 1), (1, 0)])
+
+
+class TestStructures:
+    def test_h_partition_accepts(self):
+        g = gen.star(5)
+        # hub last: leaves have 1 neighbor at a later level, hub has none.
+        assert_h_partition(g, {0: 2, 1: 1, 2: 1, 3: 1, 4: 1}, degree_bound=1)
+
+    def test_h_partition_rejects_degree_violation(self):
+        g = gen.star(5)
+        with pytest.raises(VerificationError, match="bound"):
+            assert_h_partition(g, {v: 1 for v in range(5)}, degree_bound=1)
+
+    def test_h_partition_rejects_unassigned(self):
+        g = gen.path(3)
+        with pytest.raises(VerificationError, match="never assigned"):
+            assert_h_partition(g, {0: 1, 1: 1}, degree_bound=5)
+
+    def test_acyclic_orientation_validator(self):
+        g = gen.ring(4)
+        good = orientation_by_order(g, [0, 1, 2, 3])
+        assert_acyclic_orientation(good, max_out_degree=2, max_length=3)
+        bad = Orientation(g)
+        for i in range(4):
+            bad.orient(i, (i + 1) % 4, (i + 1) % 4)
+        with pytest.raises(VerificationError, match="cycle"):
+            assert_acyclic_orientation(bad)
+
+    def test_acyclic_orientation_partial_rejected_when_total_required(self):
+        g = gen.path(3)
+        o = Orientation(g, {(0, 1): 1})
+        with pytest.raises(VerificationError, match="covers"):
+            assert_acyclic_orientation(o)
+        assert_acyclic_orientation(o, require_total=False)
+
+    def test_forest_decomposition_accepts(self):
+        g = gen.ring(4)
+        labels = {(0, 1): 1, (1, 2): 1, (2, 3): 1, (0, 3): 2}
+        assert_forest_decomposition(g, labels, max_forests=2)
+
+    def test_forest_decomposition_rejects_cycle_in_label(self):
+        g = gen.ring(3)
+        with pytest.raises(VerificationError, match="forest"):
+            assert_forest_decomposition(g, {e: 1 for e in g.edges()})
+
+    def test_forest_decomposition_rejects_missing_label(self):
+        g = gen.path(3)
+        with pytest.raises(VerificationError, match="no forest label"):
+            assert_forest_decomposition(g, {(0, 1): 1})
+
+    def test_forest_decomposition_out_label_uniqueness(self):
+        g = gen.path(3)
+        o = Orientation(g, {(0, 1): 1, (1, 2): 1})
+        # vertex 2 -> 1 and 0 -> 1: different tails, fine; make vertex 1
+        # own two out-edges with the same label to trigger the check.
+        g2 = Graph(3, [(0, 1), (1, 2)])
+        o2 = Orientation(g2, {(0, 1): 0, (1, 2): 2})
+        labels = {(0, 1): 1, (1, 2): 1}
+        with pytest.raises(VerificationError, match="two outgoing"):
+            assert_forest_decomposition(g2, labels, orientation=o2)
+
+    def test_arbdefective_coloring(self):
+        g = gen.complete(4)
+        # two classes of two vertices each: each class induces one edge,
+        # arboricity 1.
+        assert_arbdefective_coloring(g, {0: 0, 1: 0, 2: 1, 3: 1}, max_arboricity=1)
+        with pytest.raises(VerificationError, match="arboricity"):
+            assert_arbdefective_coloring(g, {v: 0 for v in range(4)}, max_arboricity=1)
+
+    def test_partition_covers(self):
+        assert_partition_covers(4, [[0, 1], [2], [3]])
+        with pytest.raises(VerificationError, match="twice"):
+            assert_partition_covers(3, [[0, 1], [1, 2]])
+        with pytest.raises(VerificationError, match="covers"):
+            assert_partition_covers(3, [[0, 1]])
