@@ -1,57 +1,49 @@
 """Simulator throughput: vertex-steps per second of the round engine
 itself, so adopters can size their experiments.  (The algorithmic
-benchmarks measure rounds; this one measures the machine.)"""
+benchmarks measure rounds; this one measures the machine.)
+
+Also the home of the engine-speedup acceptance gate: the fast engine must
+beat the reference (seed) engine by >= 3x on the 10-round broadcast
+workload at n = 32000, and the measured numbers are persisted to
+``BENCH_kernel.json`` via ``repro.bench.baseline`` so future PRs have a
+perf trajectory.
+"""
 
 import repro
-from repro.bench import make_workload, render_table
+from repro.bench import baseline, make_workload, render_table
 from repro.graphs import generators as gen
 from repro.runtime.network import SyncNetwork
 from _common import emit, time_once
 
 
 def test_kernel_throughput(benchmark):
+    result = baseline.measure_kernel()
     rows = []
-    for n in (2000, 8000, 32000):
-        g = gen.union_of_forests(n, 3, seed=0)
-
-        def ping(ctx):
-            for _ in range(10):
-                ctx.broadcast(("p", ctx.round))
-                yield
-            return None
-
-        import time
-
-        t0 = time.perf_counter()
-        res = SyncNetwork(g).run(ping)
-        wall = time.perf_counter() - t0
-        steps = res.metrics.round_sum
-        msgs = res.metrics.total_messages
+    for point in result["engines"]["fast"]:
+        n = point["n"]
         rows.append(
             [
                 n,
-                steps,
-                msgs,
-                f"{steps / wall:,.0f}",
-                f"{msgs / wall:,.0f}",
+                point["steps"],
+                point["msgs"],
+                f"{point['steps_per_s']:,.0f}",
+                f"{point['msgs_per_s']:,.0f}",
+                f"x{result['speedup'][str(n)]:.1f}",
             ]
         )
     emit(
         "kernel_throughput",
         render_table(
             "Round-engine throughput (10-round broadcast workload)",
-            ["n", "vertex-steps", "messages", "steps/s", "msgs/s"],
+            ["n", "vertex-steps", "messages", "steps/s", "msgs/s", "vs reference"],
             rows,
         ),
     )
+    # The acceptance gate: >= 3x over the seed engine at n=32000.
+    assert result["speedup"]["32000"] >= 3.0, result["speedup"]
+
     g = gen.union_of_forests(8000, 3, seed=0)
-
-    def ping(ctx):
-        for _ in range(10):
-            ctx.broadcast(("p", ctx.round))
-            yield
-        return None
-
+    ping = baseline.broadcast_program()
     time_once(benchmark, lambda: SyncNetwork(g).run(ping))
 
 

@@ -44,6 +44,7 @@ def test_partition_avg_vs_worst(benchmark):
         lambda g, a, ids, s: repro.run_partition(g, a=a, eps=0.5, ids=ids),
         WL,
         SWEEP_FAST,
+        parallel=True,
     )
     base = sweep(
         "Forest-Dec worst-case schedule",
@@ -52,6 +53,7 @@ def test_partition_avg_vs_worst(benchmark):
         ),
         WL,
         SWEEP_FAST,
+        parallel=True,
     )
     from repro.bench import render_rows
 

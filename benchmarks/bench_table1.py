@@ -15,6 +15,8 @@ EPS = 0.5
 
 
 def _series(label, fn, ns, seeds=2, colors=True):
+    # fan the (n, seed) points out across worker processes; results are
+    # identical to the serial path (see repro.bench.runner)
     return sweep(
         label,
         fn,
@@ -22,6 +24,7 @@ def _series(label, fn, ns, seeds=2, colors=True):
         ns,
         seeds=seeds,
         colors_of=(lambda r: r.colors_used) if colors else None,
+        parallel=True,
     )
 
 
@@ -79,6 +82,7 @@ def test_row_one_plus_eta(benchmark):
         SWEEP_SLOW,
         seeds=2,
         colors_of=lambda r: r.colors_used,
+        parallel=True,
     )
     base = sweep(
         "Legal-Coloring worst-case [5]",
@@ -87,6 +91,7 @@ def test_row_one_plus_eta(benchmark):
         SWEEP_SLOW,
         seeds=2,
         colors_of=lambda r: r.colors_used,
+        parallel=True,
     )
     emit(
         "table1_row_one_plus_eta",
@@ -182,6 +187,7 @@ def test_row_delta_plus_one_det(benchmark):
         SWEEP_MED,
         seeds=2,
         colors_of=lambda r: r.colors_used,
+        parallel=True,
     )
     base = sweep(
         "Delta+1 whole-graph worst-case",
@@ -190,6 +196,7 @@ def test_row_delta_plus_one_det(benchmark):
         SWEEP_MED,
         seeds=2,
         colors_of=lambda r: r.colors_used,
+        parallel=True,
     )
     emit(
         "table1_row_delta_plus_one_det",
@@ -211,6 +218,7 @@ def test_row_delta_plus_one_rand(benchmark):
         SWEEP_FAST,
         seeds=3,
         colors_of=lambda r: r.colors_used,
+        parallel=True,
     )
     emit(
         "table1_row_delta_plus_one_rand",

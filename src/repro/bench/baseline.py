@@ -1,0 +1,213 @@
+"""Kernel throughput baseline: measure, persist, compare.
+
+Times the round engine itself (not any algorithm) on a fixed workload --
+the 10-round broadcast program over ``union_of_forests(n, 3)`` -- and
+records steps/s, msgs/s and wall-clock per sweep point in
+``BENCH_kernel.json`` at the repo root, so every future PR inherits a perf
+trajectory and a regression gate.
+
+Raw steps/s is machine-dependent, so the committed file stores *both*
+engines' numbers: the throughput-optimised :class:`SyncNetwork` ("fast")
+and the specification engine :class:`ReferenceSyncNetwork` ("reference").
+The regression gate compares the fast/reference *speedup ratio*, which is
+stable across machines: a change that slows the fast path shows up as a
+falling ratio no matter the hardware.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.bench.baseline --write   # refresh file
+    PYTHONPATH=src python -m repro.bench.baseline --check   # regression gate
+    PYTHONPATH=src python -m repro.bench.baseline --check --quick  # CI smoke
+
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any, Callable, Sequence
+
+from repro.graphs import generators as gen
+from repro.runtime.network import SyncNetwork
+from repro.runtime.reference import ReferenceSyncNetwork
+
+#: the fixed kernel workload: n-sweep of the 10-round broadcast program
+DEFAULT_NS: tuple[int, ...] = (2000, 8000, 32000)
+QUICK_NS: tuple[int, ...] = (2000, 8000)
+BROADCAST_ROUNDS = 10
+#: fail the gate when the fast/reference speedup falls below
+#: ``(1 - MAX_REGRESSION)`` of the recorded one
+MAX_REGRESSION = 0.30
+
+ENGINES: dict[str, type[SyncNetwork]] = {
+    "fast": SyncNetwork,
+    "reference": ReferenceSyncNetwork,
+}
+
+
+def default_path() -> str:
+    """``BENCH_kernel.json`` at the repository root (next to ``src/``)."""
+    here = os.path.dirname(os.path.abspath(__file__))
+    return os.path.join(here, "..", "..", "..", "BENCH_kernel.json")
+
+
+def broadcast_program(rounds: int = BROADCAST_ROUNDS) -> Callable:
+    """The kernel workload program: broadcast every round, then halt."""
+
+    def ping(ctx):
+        for _ in range(rounds):
+            ctx.broadcast(("p", ctx.round))
+            yield
+        return None
+
+    return ping
+
+
+def measure_engine(
+    engine: str = "fast",
+    ns: Sequence[int] = DEFAULT_NS,
+    rounds: int = BROADCAST_ROUNDS,
+    repeats: int = 1,
+) -> list[dict[str, Any]]:
+    """Time one engine over the kernel workload; best-of-``repeats``."""
+    cls = ENGINES[engine]
+    program = broadcast_program(rounds)
+    points = []
+    for n in ns:
+        g = gen.union_of_forests(n, 3, seed=0)
+        g.csr_rows()  # build the CSR cache outside the timed region
+        best = None
+        for _ in range(max(1, repeats)):
+            t0 = time.perf_counter()
+            res = cls(g).run(program)
+            wall = time.perf_counter() - t0
+            if best is None or wall < best[0]:
+                best = (wall, res)
+        wall, res = best
+        steps = res.metrics.round_sum
+        msgs = res.metrics.total_messages
+        points.append(
+            {
+                "n": n,
+                "rounds": rounds,
+                "steps": steps,
+                "msgs": msgs,
+                "wall_s": round(wall, 4),
+                "steps_per_s": round(steps / wall, 1),
+                "msgs_per_s": round(msgs / wall, 1),
+            }
+        )
+    return points
+
+
+def measure_kernel(
+    ns: Sequence[int] = DEFAULT_NS,
+    rounds: int = BROADCAST_ROUNDS,
+    repeats: int = 1,
+) -> dict[str, Any]:
+    """Measure both engines and derive the per-point speedup ratios."""
+    result: dict[str, Any] = {
+        "workload": f"union_of_forests(n, 3) x {rounds}-round broadcast",
+        "engines": {
+            name: measure_engine(name, ns=ns, rounds=rounds, repeats=repeats)
+            for name in ENGINES
+        },
+    }
+    fast = result["engines"]["fast"]
+    ref = result["engines"]["reference"]
+    result["speedup"] = {
+        str(f["n"]): round(f["steps_per_s"] / r["steps_per_s"], 2)
+        for f, r in zip(fast, ref)
+    }
+    return result
+
+
+def write_baseline(path: str | None = None, **kwargs) -> dict[str, Any]:
+    """Measure and persist the baseline; returns what was written."""
+    path = path or default_path()
+    result = measure_kernel(**kwargs)
+    with open(path, "w") as fh:
+        json.dump(result, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return result
+
+
+def load_baseline(path: str | None = None) -> dict[str, Any]:
+    with open(path or default_path()) as fh:
+        return json.load(fh)
+
+
+def compare_to_baseline(
+    current: dict[str, Any],
+    baseline: dict[str, Any],
+    max_regression: float = MAX_REGRESSION,
+) -> list[str]:
+    """Regression check; returns human-readable violations (empty = pass).
+
+    Compares the fast/reference speedup ratio per sweep point against the
+    recorded one (machine-independent), and additionally requires the fast
+    engine to actually be faster than the reference engine.
+    """
+    problems = []
+    recorded = baseline.get("speedup", {})
+    for key, cur_ratio in current.get("speedup", {}).items():
+        if cur_ratio < 1.0:
+            problems.append(
+                f"n={key}: fast engine is slower than the reference engine "
+                f"(speedup x{cur_ratio:.2f})"
+            )
+        base_ratio = recorded.get(key)
+        if base_ratio is None:
+            continue
+        floor = base_ratio * (1.0 - max_regression)
+        if cur_ratio < floor:
+            problems.append(
+                f"n={key}: speedup regressed to x{cur_ratio:.2f} "
+                f"(recorded x{base_ratio:.2f}, floor x{floor:.2f})"
+            )
+    return problems
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    import argparse
+
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--write", action="store_true", help="refresh the baseline file")
+    ap.add_argument("--check", action="store_true", help="regression gate vs the file")
+    ap.add_argument("--path", default=None, help="baseline JSON path")
+    ap.add_argument(
+        "--quick",
+        action="store_true",
+        help=f"small-n smoke sweep {QUICK_NS} (for CI)",
+    )
+    ap.add_argument("--repeats", type=int, default=1)
+    args = ap.parse_args(argv)
+    ns = QUICK_NS if args.quick else DEFAULT_NS
+
+    if args.write:
+        result = write_baseline(args.path, ns=ns, repeats=args.repeats)
+        print(json.dumps(result, indent=2, sort_keys=True))
+        return 0
+    if args.check:
+        try:
+            baseline = load_baseline(args.path)
+        except FileNotFoundError as exc:
+            print(f"no baseline at {exc.filename}; run with --write first")
+            return 1
+        current = measure_kernel(ns=ns, repeats=args.repeats)
+        for key, ratio in sorted(current["speedup"].items(), key=lambda kv: int(kv[0])):
+            rec = baseline.get("speedup", {}).get(key)
+            rec_s = f" (recorded x{rec:.2f})" if rec is not None else ""
+            print(f"n={key}: fast/reference speedup x{ratio:.2f}{rec_s}")
+        problems = compare_to_baseline(current, baseline)
+        for p in problems:
+            print(f"REGRESSION: {p}")
+        print("kernel perf check:", "FAIL" if problems else "OK")
+        return 1 if problems else 0
+    ap.print_help()
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

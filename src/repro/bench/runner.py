@@ -4,10 +4,25 @@ several ID-assignment seeds and collect the paper's quantities.
 The vertex-averaged measure maximizes over ID assignments; we approximate
 the max by running ``seeds`` random assignments and reporting both the mean
 and the max over them.
+
+Sweeps fan the independent ``(n, seed)`` points out across a
+``concurrent.futures.ProcessPoolExecutor`` when ``parallel`` is enabled
+(the default auto-enables for sweeps with enough points on platforms with
+``fork``).  Each point is a pure function of ``(n, seed)`` -- the workload
+builder, the ID assignment and the algorithm are all seeded -- so the
+parallel path returns results identical to the serial path, in
+deterministic order; only the recorded wall-clock differs.  Workers
+inherit the (frequently unpicklable: lambdas, closures) ``run`` callable
+through fork-time module state rather than pickling, which is why the
+pool requires the ``fork`` start method; anywhere it is unavailable the
+sweep silently degrades to the serial path.  ``parallel=False`` is the
+explicit escape hatch.
 """
 
 from __future__ import annotations
 
+import os
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
@@ -26,7 +41,12 @@ class SweepPoint:
     worst_mean: float
     worst_max: int
     colors: int | None = None
-    extra: dict = field(default_factory=dict)
+    #: wall-clock seconds spent producing this point (sum over its ID
+    #: seeds, including graph construction).  Excluded from equality so
+    #: serial and parallel sweeps compare equal; under the parallel
+    #: runner the sum over points exceeds the elapsed time -- that gap is
+    #: the measured speedup.
+    wall: float = field(default=0.0, compare=False)
 
 
 @dataclass
@@ -48,6 +68,11 @@ class Series:
     def worsts(self) -> list[float]:
         return [p.worst_mean for p in self.points]
 
+    @property
+    def total_wall(self) -> float:
+        """Total wall-clock across points (CPU-seconds under parallel)."""
+        return sum(p.wall for p in self.points)
+
     def fit_avg(self, tolerance: float = 0.10) -> ShapeFit:
         return fit_shape(self.ns, self.avgs, tolerance=tolerance)
 
@@ -61,7 +86,77 @@ class Series:
         return last.worst_mean / max(last.avg_mean, 1e-9)
 
 
-RunFn = Callable[..., object]  # driver(graph, a?, ids=..., seed=...) -> result
+#: minimum number of (n, seed) points before a sweep auto-parallelizes
+#: (below this the pool startup outweighs the win)
+_AUTO_PARALLEL_MIN_TASKS = 8
+
+#: fork-time state workers read instead of pickling the run callable
+_WORKER_STATE: dict = {}
+
+
+def _fork_available() -> bool:
+    if os.environ.get("REPRO_NO_PARALLEL_SWEEP"):
+        return False
+    try:
+        import multiprocessing
+
+        return "fork" in multiprocessing.get_all_start_methods()
+    except Exception:  # pragma: no cover - exotic platforms
+        return False
+
+
+def _measure_point(
+    run: Callable[[object, int, Sequence[int], int], object],
+    workload: Workload,
+    colors_of: Callable[[object], int] | None,
+    n: int,
+    s: int,
+) -> tuple[float, int, int | None, float]:
+    """One (n, seed) cell: build the instance, run, extract quantities."""
+    t0 = time.perf_counter()
+    g, a = workload(n, seed=s)
+    ids = gen.random_ids(g.n, seed=1000 + s)
+    res = run(g, a, ids, s)
+    m = res.metrics
+    color = colors_of(res) if colors_of is not None else None
+    return (m.vertex_averaged, m.worst_case, color, time.perf_counter() - t0)
+
+
+def _pool_task(args: tuple[int, int]) -> tuple[float, int, int | None, float]:
+    n, s = args
+    state = _WORKER_STATE
+    return _measure_point(
+        state["run"], state["workload"], state["colors_of"], n, s
+    )
+
+
+def _run_points_parallel(
+    run, workload, colors_of, tasks: list[tuple[int, int]], max_workers: int | None
+) -> list[tuple[float, int, int | None, float]] | None:
+    """Execute the (n, seed) tasks across forked workers.
+
+    Returns None if the pool cannot be set up (caller falls back to the
+    serial path).  Results come back in task order via ``Executor.map``.
+    """
+    import multiprocessing
+    from concurrent.futures import ProcessPoolExecutor
+
+    try:
+        mp_ctx = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-fork platforms
+        return None
+    if max_workers is None:
+        max_workers = min(len(tasks), os.cpu_count() or 1)
+    # Stash the callables *before* the pool forks so workers inherit them;
+    # this sidesteps pickling (benchmarks pass lambdas and closures).
+    _WORKER_STATE["run"] = run
+    _WORKER_STATE["workload"] = workload
+    _WORKER_STATE["colors_of"] = colors_of
+    try:
+        with ProcessPoolExecutor(max_workers=max_workers, mp_context=mp_ctx) as ex:
+            return list(ex.map(_pool_task, tasks))
+    finally:
+        _WORKER_STATE.clear()
 
 
 def sweep(
@@ -71,25 +166,40 @@ def sweep(
     ns: Sequence[int],
     seeds: int = 2,
     colors_of: Callable[[object], int] | None = None,
+    parallel: bool | None = None,
+    max_workers: int | None = None,
 ) -> Series:
     """Run ``run(graph, a, ids, seed)`` across the sweep.
 
     ``run`` must return an object with a ``metrics`` attribute
     (:class:`repro.runtime.metrics.RoundMetrics`).
+
+    ``parallel=None`` (default) auto-enables the process pool for sweeps
+    with at least ``_AUTO_PARALLEL_MIN_TASKS`` points when ``fork`` is
+    available; ``parallel=True`` forces it, ``parallel=False`` is the
+    serial escape hatch.  Both paths return identical Series (wall-clock
+    fields aside, which are excluded from equality).
     """
+    tasks = [(n, s) for n in ns for s in range(seeds)]
+    if parallel is None:
+        parallel = len(tasks) >= _AUTO_PARALLEL_MIN_TASKS and _fork_available()
+    results: list[tuple[float, int, int | None, float]] | None = None
+    if parallel and len(tasks) > 1 and _fork_available():
+        results = _run_points_parallel(run, workload, colors_of, tasks, max_workers)
+    if results is None:
+        results = [
+            _measure_point(run, workload, colors_of, n, s) for n, s in tasks
+        ]
+
     points: list[SweepPoint] = []
-    for n in ns:
-        avgs, worsts, colors = [], [], None
-        for s in range(seeds):
-            g, a = workload(n, seed=s)
-            ids = gen.random_ids(g.n, seed=1000 + s)
-            res = run(g, a, ids, s)
-            m = res.metrics
-            avgs.append(m.vertex_averaged)
-            worsts.append(m.worst_case)
-            if colors_of is not None:
-                c = colors_of(res)
-                colors = c if colors is None else max(colors, c)
+    for i, n in enumerate(ns):
+        cells = results[i * seeds : (i + 1) * seeds]
+        avgs = [c[0] for c in cells]
+        worsts = [c[1] for c in cells]
+        colors: int | None = None
+        for c in cells:
+            if c[2] is not None:
+                colors = c[2] if colors is None else max(colors, c[2])
         points.append(
             SweepPoint(
                 n=n,
@@ -98,6 +208,7 @@ def sweep(
                 worst_mean=sum(worsts) / len(worsts),
                 worst_max=max(worsts),
                 colors=colors,
+                wall=sum(c[3] for c in cells),
             )
         )
     return Series(label=label, points=points)

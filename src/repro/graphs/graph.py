@@ -33,12 +33,14 @@ class Graph:
         edges (in either orientation) are collapsed.
     """
 
-    __slots__ = ("_n", "_adj", "_adj_sets", "_edges", "_m")
+    __slots__ = ("_n", "_adj", "_adj_sets", "_edges", "_m", "_csr", "_csr_rows")
 
     def __init__(self, n: int, edges: Iterable[tuple[int, int]] = ()) -> None:
         if n < 0:
             raise ValueError(f"vertex count must be non-negative, got {n}")
         self._n = n
+        self._csr = None
+        self._csr_rows = None
         adj: list[list[int]] = [[] for _ in range(n)]
         seen: set[tuple[int, int]] = set()
         for u, v in edges:
@@ -107,6 +109,58 @@ class Graph:
     def degree_sequence(self) -> list[int]:
         """All vertex degrees, indexed by vertex."""
         return [len(nbrs) for nbrs in self._adj]
+
+    # ------------------------------------------------------------------
+    # CSR adjacency view (the round engine's fast path)
+    # ------------------------------------------------------------------
+    def csr(self):
+        """The adjacency structure in CSR form: ``(offsets, indices)``.
+
+        ``offsets`` is an ``int64`` array of length ``n + 1`` and
+        ``indices`` an ``int64`` array of length ``2m``; the neighbors of
+        ``v`` are ``indices[offsets[v]:offsets[v+1]]``, sorted ascending.
+        Built lazily on first use and cached for the lifetime of the graph
+        (the graph is immutable), so repeated executions over the same
+        topology share one flat adjacency encoding.
+        """
+        if self._csr is None:
+            import numpy as np
+
+            offsets = np.zeros(self._n + 1, dtype=np.int64)
+            if self._n:
+                offsets[1:] = np.cumsum(
+                    np.fromiter(
+                        (len(nbrs) for nbrs in self._adj),
+                        dtype=np.int64,
+                        count=self._n,
+                    )
+                )
+            indices = np.fromiter(
+                (u for nbrs in self._adj for u in nbrs),
+                dtype=np.int64,
+                count=2 * self._m,
+            )
+            self._csr = (offsets, indices)
+        return self._csr
+
+    def csr_rows(self) -> list[list[int]]:
+        """Per-vertex neighbor rows sliced out of :meth:`csr`.
+
+        A cached list-of-lists mirror of the CSR arrays holding plain
+        Python ints, which is what the engine's object-level loops
+        (broadcast fan-out, halt-notice delivery) iterate: indexing
+        containers with native ints is markedly faster than with numpy
+        scalars.  The rows are shared -- callers must treat them as
+        immutable and copy before mutating.
+        """
+        if self._csr_rows is None:
+            offsets, indices = self.csr()
+            off = offsets.tolist()
+            idx = indices.tolist()
+            self._csr_rows = [
+                idx[off[v] : off[v + 1]] for v in range(self._n)
+            ]
+        return self._csr_rows
 
     # ------------------------------------------------------------------
     # Derived graphs

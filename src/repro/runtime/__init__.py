@@ -12,14 +12,17 @@ Vertex programs are written as generator coroutines: one ``yield`` per
 communication round (see :mod:`repro.runtime.program`).
 """
 
-from repro.runtime.context import Context
+from repro.runtime.context import Context, RouterState
 from repro.runtime.network import RunResult, SyncNetwork
 from repro.runtime.metrics import RoundMetrics
 from repro.runtime.program import wait_rounds, wait_until_round
+from repro.runtime.reference import ReferenceSyncNetwork
 
 __all__ = [
     "Context",
+    "ReferenceSyncNetwork",
     "RoundMetrics",
+    "RouterState",
     "RunResult",
     "SyncNetwork",
     "wait_rounds",

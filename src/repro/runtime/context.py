@@ -11,12 +11,54 @@ their links (``neighbor_ids``, the KT1 assumption the paper's "orient the
 edge towards the higher ID immediately upon formation of the H-set" steps
 require), and global parameters that are deterministic functions of the
 problem instance.
+
+Two routing regimes
+-------------------
+A context can run *wired* or *unwired*.  The fast engine
+(:class:`repro.runtime.network.SyncNetwork`) wires each context to a shared
+:class:`RouterState`: ``send``/``broadcast`` then deliver straight into the
+engine's pooled per-vertex mail slots (a broadcast allocates one
+``(sender, payload)`` tuple and appends it to every active neighbor's slot
+-- the receivers' inbox dicts are materialised lazily, only if a program
+actually reads ``ctx.inbox``).  Unwired contexts -- as driven by
+:class:`repro.runtime.reference.ReferenceSyncNetwork`, the executable
+specification of the round semantics -- fall back to accumulating
+``(target, payload)`` tuples in ``_outgoing`` for the engine to route.
+Both regimes produce bit-identical executions; the differential tests in
+``tests/runtime/test_equivalence.py`` enforce it.
+
+``ctx.inbox`` is valid for the duration of the round it was delivered in:
+the dict object handed to the program is freshly built and never reused,
+but the engine's underlying mail buffers are pooled, so programs must not
+assume messages remain observable in later rounds (none of the repo's
+programs ever did).
 """
 
 from __future__ import annotations
 
 import random
 from typing import Any, Iterable, Mapping
+
+
+class RouterState:
+    """Shared per-run routing state the engine wires into every context.
+
+    ``slots_next`` holds one mail list per vertex (messages for the *next*
+    round, as ``(sender, payload)`` tuples), ``dirty`` the receivers whose
+    slot was touched this round (possibly with duplicates -- it is only
+    used to clear slots cheaply), and ``msgs`` the running message count
+    for the current round.
+    """
+
+    __slots__ = ("slots_next", "dirty", "msgs")
+
+    def __init__(self) -> None:
+        self.slots_next: list[list[tuple[int, Any]]] = []
+        self.dirty: list[int] = []
+        self.msgs = 0
+
+
+_EMPTY_FROZENSET: frozenset[int] = frozenset()
 
 
 class Context:
@@ -29,16 +71,20 @@ class Context:
         "neighbor_ids",
         "n",
         "config",
-        "rng",
-        "inbox",
         "halted",
         "newly_halted",
+        "_rng",
+        "_mail",
+        "_inbox_d",
         "_round",
         "_outgoing",
         "_halted_set",
         "_commit_round",
         "_commit_value",
-        "_neighbor_set",
+        "_router",
+        "_act",
+        "_act_pos",
+        "_sent_round",
     )
 
     def __init__(
@@ -49,29 +95,74 @@ class Context:
         neighbor_ids: Mapping[int, int],
         n: int,
         config: Mapping[str, Any],
-        rng: random.Random,
+        rng: random.Random | str,
     ) -> None:
         self.v = v
         self.id = vid
         self.neighbors = neighbors
-        self.neighbor_ids = dict(neighbor_ids)
+        #: neighbor vertex -> its ID; also serves as the O(1) neighbor-set
+        #: membership test for ``send``.  The engine hands over ownership
+        #: of this dict (it is not copied here).
+        self.neighbor_ids = (
+            neighbor_ids if type(neighbor_ids) is dict else dict(neighbor_ids)
+        )
         self.n = n
         self.config = config
-        self.rng = rng
-        #: messages received this round: sender vertex -> payload
-        self.inbox: dict[int, Any] = {}
+        #: a ``random.Random`` instance, or a seed string materialised
+        #: lazily on first use (most deterministic programs never touch it)
+        self._rng = rng
         #: final outputs of terminated neighbors (accumulated)
         self.halted: dict[int, Any] = {}
         #: neighbors whose termination notice arrived this round
-        self.newly_halted: frozenset[int] = frozenset()
+        self.newly_halted: frozenset[int] = _EMPTY_FROZENSET
+        self._mail: list[tuple[int, Any]] | None = None
+        self._inbox_d: dict[int, list[Any]] | None = None
         self._round = 0
         self._outgoing: list[tuple[int, Any]] = []
         self._halted_set: set[int] = set()
         self._commit_round: int | None = None
         self._commit_value: Any = None
-        self._neighbor_set: frozenset[int] = frozenset(neighbors)
+        self._router: RouterState | None = None
+        self._act: list[int] | None = None
+        self._act_pos: dict[int, int] | None = None
+        self._sent_round = 0
 
     # ------------------------------------------------------------------
+    @property
+    def rng(self) -> random.Random:
+        """This vertex's private random generator (lazily seeded)."""
+        r = self._rng
+        if type(r) is str:
+            r = self._rng = random.Random(r)
+        return r
+
+    @property
+    def inbox(self) -> dict[int, list[Any]]:
+        """Messages delivered this round: sender -> list of payloads.
+
+        Several messages from the same sender in one round are bundled in
+        send order.  The dict is built lazily from the engine's pooled
+        mail slot on first access and cached for the rest of the round.
+        """
+        d = self._inbox_d
+        if d is None:
+            d = {}
+            mail = self._mail
+            if mail:
+                for u, payload in mail:
+                    lst = d.get(u)
+                    if lst is None:
+                        d[u] = [payload]
+                    else:
+                        lst.append(payload)
+            self._inbox_d = d
+        return d
+
+    @inbox.setter
+    def inbox(self, value: dict[int, list[Any]]) -> None:
+        self._inbox_d = value
+        self._mail = None
+
     @property
     def round(self) -> int:
         """The current communication round (1-based)."""
@@ -82,8 +173,9 @@ class Context:
         return len(self.neighbors)
 
     def active_neighbors(self) -> list[int]:
-        """Neighbors that have not terminated yet."""
-        return [u for u in self.neighbors if u not in self._halted_set]
+        """Neighbors that have not terminated yet (in neighbor order)."""
+        halted = self._halted_set
+        return [u for u in self.neighbors if u not in halted]
 
     def active_degree(self) -> int:
         """The number of not-yet-terminated neighbors."""
@@ -118,13 +210,23 @@ class Context:
         to already-terminated neighbors are silently dropped, matching the
         model: a terminated processor performs no further communication.
         """
-        if u not in self._neighbor_set:
+        if u not in self.neighbor_ids:
             raise ValueError(
                 f"vertex {self.v} tried to message non-neighbor {u}: "
                 "communication must follow the graph's links"
             )
-        if u not in self._halted_set:
+        if u in self._halted_set:
+            return
+        rt = self._router
+        if rt is None:
             self._outgoing.append((u, payload))
+        else:
+            slot = rt.slots_next[u]
+            if not slot:
+                rt.dirty.append(u)
+            slot.append((self.v, payload))
+            rt.msgs += 1
+        self._sent_round += 1
 
     def send_many(self, targets: Iterable[int], payload: Any) -> None:
         for u in targets:
@@ -132,11 +234,31 @@ class Context:
 
     def broadcast(self, payload: Any) -> None:
         """Send ``payload`` to every active neighbor."""
-        halted = self._halted_set
-        out = self._outgoing
-        for u in self.neighbors:
-            if u not in halted:
-                out.append((u, payload))
+        rt = self._router
+        if rt is None:
+            halted = self._halted_set
+            out = self._outgoing
+            sent = 0
+            for u in self.neighbors:
+                if u not in halted:
+                    out.append((u, payload))
+                    sent += 1
+            self._sent_round += sent
+            return
+        act = self._act
+        if not act:
+            return
+        # One tuple shared across all receivers (tuples are immutable and
+        # the per-receiver payload lists are built lazily per receiver),
+        # one append per receiver: the broadcast fast path.
+        t = (self.v, payload)
+        slots = rt.slots_next
+        for u in act:
+            slots[u].append(t)
+        rt.dirty.extend(act)
+        k = len(act)
+        rt.msgs += k
+        self._sent_round += k
 
     # ------------------------------------------------------------------
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

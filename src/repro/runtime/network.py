@@ -21,16 +21,45 @@ The engine advances only active vertices, so the per-round work is
 proportional to the number of active vertices -- the same quantity the
 vertex-averaged measure sums.  Execution is deterministic given the graph,
 the ID assignment, the seed and the program.
+
+Implementation notes (the fast path)
+------------------------------------
+This module is the throughput-optimised engine; the module
+:mod:`repro.runtime.reference` keeps the original, straightforward
+implementation as the executable specification, and the differential suite
+in ``tests/runtime/test_equivalence.py`` checks the two produce identical
+:class:`RunResult`\\ s.  The fast path:
+
+* iterates adjacency through the graph's cached CSR view
+  (:meth:`repro.graphs.graph.Graph.csr` / ``csr_rows``) for halt-notice
+  fan-out and broadcast routing;
+* routes messages at send time into pooled, double-buffered per-vertex
+  mail slots (no per-round dict allocation; inbox dicts are materialised
+  lazily only when a program reads ``ctx.inbox``);
+* maintains per-vertex active-neighbor lists with O(1) swap-removal so
+  ``ctx.broadcast`` never re-filters halted neighbors;
+* drops messages addressed to a vertex that terminated in the same round
+  at routing time: they can never be delivered (the receiver performs no
+  further computation), so they neither linger in the mail buffers nor
+  count towards ``messages_per_round``.
+
+Final-round sends are *delivered*: a vertex may ``ctx.send``/``broadcast``
+during the round in which it returns, and live neighbors observe those
+messages next round alongside the termination notice (the model lets the
+final output travel; explicit sends ride the same round-boundary).  The
+only messages ever discarded are those *addressed to* a vertex that has
+terminated -- either dropped at the sender once the notice has arrived, or
+dropped by the engine in the one-round window where sender and receiver
+act simultaneously.
 """
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 from typing import Any, Callable, Generator, Mapping, Sequence
 
 from repro.graphs.graph import Graph
-from repro.runtime.context import Context
+from repro.runtime.context import _EMPTY_FROZENSET, Context, RouterState
 from repro.runtime.metrics import RoundMetrics
 
 ProgramFactory = Callable[[Context], Generator[None, None, Any]]
@@ -65,6 +94,11 @@ class RunResult:
 class MaxRoundsExceeded(RuntimeError):
     """Raised when an execution fails to terminate within the round budget
     (a liveness bug or an unlucky randomized run)."""
+
+
+def default_max_rounds(n: int) -> int:
+    """The default liveness budget for an ``n``-vertex execution."""
+    return 64 * (n.bit_length() + 1) * max(1, n.bit_length()) + 16 * n + 1024
 
 
 class SyncNetwork:
@@ -108,23 +142,36 @@ class SyncNetwork:
 
     # ------------------------------------------------------------------
     def make_contexts(self) -> list[Context]:
-        g, ids = self.graph, self.ids
+        g, ids, seed, config = self.graph, self.ids, self.seed, self.config
+        n = g.n
         contexts = []
-        for v in range(g.n):
+        for v in range(n):
             nbrs = g.neighbors(v)
-            rng = random.Random(f"{self.seed}:{ids[v]}:seed")
+            vid = ids[v]
             contexts.append(
                 Context(
                     v=v,
-                    vid=ids[v],
+                    vid=vid,
                     neighbors=nbrs,
                     neighbor_ids={u: ids[u] for u in nbrs},
-                    n=g.n,
-                    config=self.config,
-                    rng=rng,
+                    n=n,
+                    config=config,
+                    # materialised lazily by ctx.rng on first use
+                    rng=f"{seed}:{vid}:seed",
                 )
             )
         return contexts
+
+    def _spawn(
+        self, program: ProgramFactory, contexts: list[Context]
+    ) -> list[Generator[None, None, Any] | None]:
+        gens: list[Generator[None, None, Any] | None] = []
+        for ctx in contexts:
+            gen = program(ctx)
+            if not hasattr(gen, "send"):
+                raise TypeError("program factory must return a generator")
+            gens.append(gen)
+        return gens
 
     def run(
         self,
@@ -136,20 +183,30 @@ class SyncNetwork:
         g = self.graph
         n = g.n
         if max_rounds is None:
-            max_rounds = 64 * (n.bit_length() + 1) * max(1, n.bit_length()) + 16 * n + 1024
+            max_rounds = default_max_rounds(n)
 
         contexts = self.make_contexts()
-        gens: list[Generator[None, None, Any] | None] = []
-        for ctx in contexts:
-            gen = program(ctx)
-            if not hasattr(gen, "send"):
-                raise TypeError("program factory must return a generator")
-            gens.append(gen)
+        gens = self._spawn(program, contexts)
+        rows = g.csr_rows()
+
+        # Wire every context into the shared routing state: sends and
+        # broadcasts deliver straight into the pooled mail slots below.
+        router = RouterState()
+        for v, ctx in enumerate(contexts):
+            ctx._router = router
+            # shared CSR row; copied on first halted-neighbor removal
+            ctx._act = rows[v]
+
+        slots_cur: list[list[tuple[int, Any]]] = [[] for _ in range(n)]
+        slots_next: list[list[tuple[int, Any]]] = [[] for _ in range(n)]
+        dirty_cur: list[int] = []
+        dirty_next: list[int] = []
+        router.slots_next = slots_next
+        router.dirty = dirty_next
 
         outputs: dict[int, Any] = {}
         rounds = [0] * n
         active: list[int] = list(range(n))
-        pending: dict[int, dict[int, Any]] = {}
         active_trace: list[int] = []
         msg_trace: list[int] = []
         rnd = 0
@@ -163,31 +220,52 @@ class SyncNetwork:
                 )
             active_trace.append(len(active))
 
-            # Deliver termination notices from the previous round.
+            # Deliver termination notices from the previous round (fan-out
+            # over the terminated vertices' CSR rows).
             if newly_halted:
                 notice_for: dict[int, set[int]] = {}
                 for v, out in newly_halted:
-                    for u in g.neighbors(v):
-                        contexts[u].halted[v] = out
-                        contexts[u]._halted_set.add(v)
-                        notice_for.setdefault(u, set()).add(v)
+                    for u in rows[v]:
+                        cu = contexts[u]
+                        cu.halted[v] = out
+                        cu._halted_set.add(v)
+                        if gens[u] is None:
+                            continue
+                        s = notice_for.get(u)
+                        if s is None:
+                            notice_for[u] = {v}
+                        else:
+                            s.add(v)
+                        # O(1) swap-removal of v from u's active-neighbor
+                        # list (copy-on-write off the shared CSR row).
+                        pos = cu._act_pos
+                        act = cu._act
+                        if pos is None:
+                            act = cu._act = list(act)
+                            pos = cu._act_pos = {
+                                w: i for i, w in enumerate(act)
+                            }
+                        i = pos.pop(v)
+                        last = act.pop()
+                        if last != v:
+                            act[i] = last
+                            pos[last] = i
                 for u, vs in notice_for.items():
                     contexts[u].newly_halted = frozenset(vs)
-                cleared = set(notice_for)
+                cleared: set[int] | tuple = set(notice_for)
             else:
-                cleared = set()
+                cleared = ()
             newly_halted = []
 
-            msg_count = 0
-            next_pending: dict[int, dict[int, Any]] = {}
             still_active: list[int] = []
-
             for v in active:
                 ctx = contexts[v]
-                ctx.inbox = pending.get(v, {})
+                ctx._mail = slots_cur[v]
+                ctx._inbox_d = None
                 ctx._round = rnd
-                if v not in cleared and ctx.newly_halted:
-                    ctx.newly_halted = frozenset()
+                ctx._sent_round = 0
+                if ctx.newly_halted and v not in cleared:
+                    ctx.newly_halted = _EMPTY_FROZENSET
                 try:
                     yielded = next(gens[v])
                     if yielded is not None:
@@ -210,28 +288,32 @@ class SyncNetwork:
                     newly_halted.append((v, outputs[v]))
                 else:
                     still_active.append(v)
-                # Route outgoing messages (terminating vertices may have
-                # sent messages in their final round before returning; the
-                # model lets the final output travel, so these are dropped
-                # in favour of the halted-notice, except explicit sends
-                # which we still deliver for generality).
-                if ctx._outgoing:
-                    for u, payload in ctx._outgoing:
-                        box = next_pending.get(u)
-                        if box is None:
-                            box = next_pending[u] = {}
-                        slot = box.get(v)
-                        if slot is None:
-                            box[v] = [payload]
-                        else:
-                            slot.append(payload)
-                        msg_count += 1
-                    ctx._outgoing = []
+
+            # Messages routed this round to a receiver that terminated this
+            # same round can never be delivered: drop them and take them
+            # out of the message count (their senders could not yet know).
+            if newly_halted:
+                for v, _ in newly_halted:
+                    slot = slots_next[v]
+                    if slot:
+                        router.msgs -= len(slot)
+                        slot.clear()
 
             if collect_messages:
-                msg_trace.append(msg_count + len(newly_halted))
+                msg_trace.append(router.msgs + len(newly_halted))
+            router.msgs = 0
             active = still_active
-            pending = next_pending
+
+            # Rotate the pooled mail buffers: clear the slots read this
+            # round (dirty_cur may contain duplicates; clearing twice is
+            # harmless) and swap current/next.
+            for u in dirty_cur:
+                slots_cur[u].clear()
+            dirty_cur.clear()
+            slots_cur, slots_next = slots_next, slots_cur
+            dirty_cur, dirty_next = dirty_next, dirty_cur
+            router.slots_next = slots_next
+            router.dirty = dirty_next
 
         metrics = RoundMetrics(
             rounds=tuple(rounds),

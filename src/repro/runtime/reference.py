@@ -1,0 +1,174 @@
+"""The reference round engine: the executable specification.
+
+This is the original, straightforward implementation of the synchronous
+round semantics (per-round dicts, explicit ``_outgoing`` routing), kept
+verbatim except for one deliberate fix that the fast engine shares:
+messages routed to a vertex that terminated in the same round are dropped
+at routing time instead of accumulating undelivered in ``pending`` while
+inflating the message count.
+
+It exists so the throughput-optimised :class:`repro.runtime.network
+.SyncNetwork` has something to be *equal to*: the differential suite in
+``tests/runtime/test_equivalence.py`` replays randomized programs over
+every workload family through both engines and asserts identical
+:class:`~repro.runtime.network.RunResult`\\ s (outputs, per-vertex rounds,
+active/message traces, commit rounds) and identical
+:class:`~repro.runtime.trace.Trace` records.  It is also the "before"
+engine that :mod:`repro.bench.baseline` times to quantify the fast path's
+speedup.
+
+Do not optimise this module; clarity is its contract.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.runtime.context import _EMPTY_FROZENSET
+from repro.runtime.network import (
+    MaxRoundsExceeded,
+    ProgramFactory,
+    RunResult,
+    SyncNetwork,
+    default_max_rounds,
+)
+from repro.runtime.metrics import RoundMetrics
+
+
+class ReferenceSyncNetwork(SyncNetwork):
+    """Drop-in :class:`SyncNetwork` running the specification engine.
+
+    Contexts stay *unwired* (``ctx._router is None``), so ``send`` and
+    ``broadcast`` accumulate ``(target, payload)`` tuples in
+    ``ctx._outgoing`` and this loop routes them into per-round dicts --
+    exactly the seed implementation of the engine.
+    """
+
+    def run(
+        self,
+        program: ProgramFactory,
+        max_rounds: int | None = None,
+        collect_messages: bool = True,
+    ) -> RunResult:
+        """Execute ``program`` on every vertex until all terminate."""
+        g = self.graph
+        n = g.n
+        if max_rounds is None:
+            max_rounds = default_max_rounds(n)
+
+        contexts = self.make_contexts()
+        gens: list[Generator[None, None, Any] | None] = self._spawn(
+            program, contexts
+        )
+
+        outputs: dict[int, Any] = {}
+        rounds = [0] * n
+        active: list[int] = list(range(n))
+        pending: dict[int, dict[int, Any]] = {}
+        active_trace: list[int] = []
+        msg_trace: list[int] = []
+        rnd = 0
+        newly_halted: list[tuple[int, Any]] = []
+
+        while active:
+            rnd += 1
+            if rnd > max_rounds:
+                raise MaxRoundsExceeded(
+                    f"{len(active)} vertices still active after {max_rounds} rounds"
+                )
+            active_trace.append(len(active))
+
+            # Deliver termination notices from the previous round.
+            if newly_halted:
+                notice_for: dict[int, set[int]] = {}
+                for v, out in newly_halted:
+                    for u in g.neighbors(v):
+                        contexts[u].halted[v] = out
+                        contexts[u]._halted_set.add(v)
+                        notice_for.setdefault(u, set()).add(v)
+                for u, vs in notice_for.items():
+                    contexts[u].newly_halted = frozenset(vs)
+                cleared = set(notice_for)
+            else:
+                cleared = set()
+            newly_halted = []
+
+            msg_count = 0
+            next_pending: dict[int, dict[int, Any]] = {}
+            still_active: list[int] = []
+
+            for v in active:
+                ctx = contexts[v]
+                ctx.inbox = pending.get(v, {})
+                ctx._round = rnd
+                ctx._sent_round = 0
+                if v not in cleared and ctx.newly_halted:
+                    ctx.newly_halted = _EMPTY_FROZENSET
+                try:
+                    yielded = next(gens[v])
+                    if yielded is not None:
+                        raise RuntimeError(
+                            f"vertex {v} yielded {yielded!r}; programs must "
+                            "use bare `yield` (send via ctx.send/broadcast)"
+                        )
+                except StopIteration as stop:
+                    if ctx._commit_round is not None:
+                        if stop.value is not None and stop.value != ctx._commit_value:
+                            raise RuntimeError(
+                                f"vertex {v} returned {stop.value!r} after "
+                                f"committing {ctx._commit_value!r}"
+                            )
+                        outputs[v] = ctx._commit_value
+                    else:
+                        outputs[v] = stop.value
+                    rounds[v] = rnd
+                    gens[v] = None
+                    newly_halted.append((v, outputs[v]))
+                else:
+                    still_active.append(v)
+                # Route outgoing messages.  A vertex may send in the round
+                # it returns; those final-round sends are *delivered* to
+                # live neighbors next round, alongside the halt notice
+                # (tested by test_message_sent_in_final_round_is_delivered).
+                if ctx._outgoing:
+                    for u, payload in ctx._outgoing:
+                        box = next_pending.get(u)
+                        if box is None:
+                            box = next_pending[u] = {}
+                        slot = box.get(v)
+                        if slot is None:
+                            box[v] = [payload]
+                        else:
+                            slot.append(payload)
+                        msg_count += 1
+                    ctx._outgoing = []
+
+            # Drop messages addressed to vertices that terminated this
+            # round: they can never be delivered (the receiver performs no
+            # further computation), so they must not linger in ``pending``
+            # or count as traffic.
+            for v, _ in newly_halted:
+                box = next_pending.pop(v, None)
+                if box:
+                    msg_count -= sum(len(payloads) for payloads in box.values())
+
+            if collect_messages:
+                msg_trace.append(msg_count + len(newly_halted))
+            active = still_active
+            pending = next_pending
+
+        metrics = RoundMetrics(
+            rounds=tuple(rounds),
+            active_trace=tuple(active_trace),
+            messages_per_round=tuple(msg_trace),
+        )
+        output_rounds = tuple(
+            ctx._commit_round if ctx._commit_round is not None else rounds[v]
+            for v, ctx in enumerate(contexts)
+        )
+        return RunResult(
+            outputs=outputs,
+            metrics=metrics,
+            contexts=tuple(contexts),
+            output_rounds=output_rounds,
+        )

@@ -80,14 +80,17 @@ def traced(
             while True:
                 next(gen)
                 rec = trace.record(ctx.round)
-                rec.messages += len(ctx._outgoing)
+                # messages this vertex sent during the round, counted the
+                # same way under the fast engine (which routes at send
+                # time) and the reference engine (which batches _outgoing)
+                rec.messages += ctx._sent_round
                 if not committed_seen and ctx.committed:
                     rec.committed.append(ctx.v)
                     committed_seen = True
                 yield
         except StopIteration as stop:
             rec = trace.record(ctx.round)
-            rec.messages += len(ctx._outgoing)
+            rec.messages += ctx._sent_round
             if not committed_seen and ctx.committed:
                 rec.committed.append(ctx.v)
             rec.terminated.append(ctx.v)

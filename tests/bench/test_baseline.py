@@ -1,0 +1,65 @@
+"""The kernel perf baseline: measurement, persistence, regression gate."""
+
+import json
+
+import pytest
+
+from repro.bench import baseline
+
+
+def test_measure_kernel_shape():
+    result = baseline.measure_kernel(ns=(120,), rounds=3)
+    assert set(result["engines"]) == {"fast", "reference"}
+    for eng in result["engines"].values():
+        (point,) = eng
+        assert point["n"] == 120
+        assert point["steps"] > 0 and point["msgs"] > 0
+        assert point["steps_per_s"] > 0 and point["wall_s"] >= 0
+    # both engines replay the identical execution
+    fast, ref = result["engines"]["fast"][0], result["engines"]["reference"][0]
+    assert fast["steps"] == ref["steps"]
+    assert fast["msgs"] == ref["msgs"]
+    assert "120" in result["speedup"]
+
+
+def test_write_and_load_roundtrip(tmp_path):
+    path = tmp_path / "BENCH_kernel.json"
+    written = baseline.write_baseline(str(path), ns=(100,), rounds=2)
+    loaded = baseline.load_baseline(str(path))
+    assert loaded == json.loads(json.dumps(written))
+    assert loaded["workload"].startswith("union_of_forests")
+
+
+def test_compare_flags_regressions():
+    stored = {"speedup": {"32000": 5.0}}
+    ok = {"speedup": {"32000": 4.0}}
+    assert baseline.compare_to_baseline(ok, stored) == []
+    regressed = {"speedup": {"32000": 3.0}}  # floor is 5.0 * 0.7 = 3.5
+    problems = baseline.compare_to_baseline(regressed, stored)
+    assert len(problems) == 1 and "regressed" in problems[0]
+    slower = {"speedup": {"32000": 0.9}}
+    problems = baseline.compare_to_baseline(slower, stored)
+    assert any("slower than the reference" in p for p in problems)
+    # unknown points are tolerated (lets the sweep grow later)
+    assert baseline.compare_to_baseline({"speedup": {"64000": 4.0}}, stored) == []
+
+
+def test_cli_check_against_fresh_file(tmp_path, capsys):
+    path = tmp_path / "BENCH_kernel.json"
+    baseline.write_baseline(str(path), ns=(100,), rounds=2)
+    # checking right after writing must pass (same machine, same code)
+    rc = baseline.main(["--check", "--path", str(path), "--quick"])
+    out = capsys.readouterr().out
+    # note: --quick uses its own ns; unknown keys are tolerated, and the
+    # fast engine must still beat the reference
+    assert "kernel perf check:" in out
+    assert rc == 0
+
+
+def test_committed_baseline_is_valid():
+    """The repo-root BENCH_kernel.json parses and records a >=3x speedup
+    at the acceptance point n=32000."""
+    data = baseline.load_baseline()
+    assert data["speedup"]["32000"] >= 3.0
+    ns = [p["n"] for p in data["engines"]["fast"]]
+    assert 32000 in ns

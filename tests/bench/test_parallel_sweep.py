@@ -1,0 +1,66 @@
+"""The parallel sweep runner must be a pure speedup: identical Series to
+the serial path, deterministic ordering, graceful degradation."""
+
+import pytest
+
+import repro
+from repro.bench import make_workload, sweep
+from repro.bench.runner import SweepPoint, _fork_available
+
+
+WL = make_workload("forest_union_a2")
+
+
+def _run(g, a, ids, s):
+    return repro.run_partition(g, a=a, ids=ids)
+
+
+class TestParallelSweep:
+    def test_parallel_equals_serial(self):
+        serial = sweep("p", _run, WL, (60, 120), seeds=2, parallel=False)
+        parallel = sweep("p", _run, WL, (60, 120), seeds=2, parallel=True)
+        assert serial.points == parallel.points  # wall excluded from eq
+        assert serial.ns == parallel.ns == [60, 120]
+
+    def test_parallel_equals_serial_with_lambdas_and_colors(self):
+        # benchmarks pass lambdas/closures: the fork-inheritance path must
+        # carry them into workers without pickling errors
+        kwargs = dict(
+            seeds=2,
+            colors_of=lambda r: r.colors_used,
+        )
+        run = lambda g, a, ids, s: repro.run_a2logn_coloring(g, a=a, ids=ids)
+        serial = sweep("c", run, WL, (60, 100), parallel=False, **kwargs)
+        parallel = sweep("c", run, WL, (60, 100), parallel=True, **kwargs)
+        assert serial.points == parallel.points
+        assert [p.colors for p in parallel.points] == [
+            p.colors for p in serial.points
+        ]
+
+    def test_randomized_algorithms_stay_deterministic(self):
+        run = lambda g, a, ids, s: repro.run_rand_delta_plus_one(g, ids=ids, seed=s)
+        serial = sweep("r", run, WL, (80,), seeds=3, parallel=False)
+        parallel = sweep("r", run, WL, (80,), seeds=3, parallel=True)
+        assert serial.points == parallel.points
+
+    def test_wall_clock_recorded_per_point(self):
+        s = sweep("w", _run, WL, (60, 120), seeds=2, parallel=False)
+        assert all(p.wall > 0 for p in s.points)
+        assert s.total_wall == pytest.approx(sum(p.wall for p in s.points))
+
+    def test_wall_excluded_from_equality(self):
+        a = SweepPoint(n=1, avg_mean=1.0, avg_max=1.0, worst_mean=1.0, worst_max=1, wall=0.5)
+        b = SweepPoint(n=1, avg_mean=1.0, avg_max=1.0, worst_mean=1.0, worst_max=1, wall=9.9)
+        assert a == b
+
+    def test_escape_hatch_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_PARALLEL_SWEEP", "1")
+        assert not _fork_available()
+        s = sweep("e", _run, WL, (60,), seeds=1, parallel=True)  # degrades
+        assert s.points[0].n == 60
+
+    def test_auto_mode_small_sweeps_stay_serial(self):
+        # < _AUTO_PARALLEL_MIN_TASKS points: no pool is spun up (observable
+        # only via timing; here we just assert correctness of the result)
+        s = sweep("a", _run, WL, (60,), seeds=2)
+        assert len(s.points) == 1

@@ -134,3 +134,41 @@ class TestInterop:
     def test_from_adjacency_list(self):
         g = Graph.from_adjacency([[1], [0]])
         assert g.n == 2 and g.m == 1
+
+
+class TestCSR:
+    def test_csr_matches_neighbors(self):
+        from repro.graphs import generators as gen
+
+        g = gen.gnp(60, 0.1, seed=2)
+        offsets, indices = g.csr()
+        assert offsets.shape == (g.n + 1,)
+        assert indices.shape == (2 * g.m,)
+        assert int(offsets[0]) == 0 and int(offsets[-1]) == 2 * g.m
+        for v in range(g.n):
+            row = indices[int(offsets[v]) : int(offsets[v + 1])]
+            assert tuple(int(u) for u in row) == g.neighbors(v)
+
+    def test_csr_rows_match_and_are_cached(self):
+        g = Graph(5, [(0, 1), (0, 2), (3, 4)])
+        rows = g.csr_rows()
+        assert rows == [list(g.neighbors(v)) for v in range(5)]
+        # cached: same objects on repeated access (the engine relies on
+        # sharing these rows copy-on-write)
+        assert g.csr_rows() is rows
+        assert g.csr() is g.csr()
+
+    def test_csr_empty_and_isolated(self):
+        empty = Graph(0)
+        offsets, indices = empty.csr()
+        assert offsets.shape == (1,) and indices.shape == (0,)
+        assert empty.csr_rows() == []
+
+        iso = Graph(3, [(0, 1)])
+        assert iso.csr_rows() == [[1], [0], []]
+
+    def test_csr_row_ints_are_native(self):
+        # object-level engine loops index dicts/lists with these values;
+        # they must be plain Python ints, not numpy scalars
+        g = Graph(2, [(0, 1)])
+        assert all(type(u) is int for row in g.csr_rows() for u in row)

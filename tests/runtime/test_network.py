@@ -278,3 +278,68 @@ def test_message_counts():
     # round 1: 4 vertices x 2 neighbors = 8; round 2: 4 halt notices
     assert res.metrics.messages_per_round[0] == 8
     assert res.metrics.total_messages >= 8
+
+
+@pytest.mark.parametrize("engine", ["fast", "reference"])
+def test_messages_to_same_round_terminators_are_dropped(engine):
+    """A message routed to a vertex that terminates in the same round can
+    never be delivered; it must be dropped at routing time, not linger
+    undelivered while inflating msg_count (regression: the seed engine
+    accumulated such messages in ``pending`` forever and counted them)."""
+    from repro.runtime.reference import ReferenceSyncNetwork
+
+    cls = SyncNetwork if engine == "fast" else ReferenceSyncNetwork
+    g = Graph(2, [(0, 1)])
+
+    def program(ctx):
+        if ctx.v == 0:
+            return "gone"  # terminates during round 1
+        ctx.send(0, "too late")  # sent in round 1: 0's halt not yet known
+        yield
+        return None
+
+    res = cls(g).run(program)
+    # round 1: vertex 1's send to the just-terminated vertex 0 is dropped
+    # and NOT counted; round 2: only vertex 1's own halt notice
+    assert res.metrics.messages_per_round == (1, 1)
+    assert res.outputs == {0: "gone", 1: None}
+
+
+@pytest.mark.parametrize("engine", ["fast", "reference"])
+def test_broadcast_to_same_round_terminators_partially_dropped(engine):
+    """Broadcasts count only the copies addressed to receivers that did
+    not terminate in the sending round."""
+    from repro.runtime.reference import ReferenceSyncNetwork
+
+    cls = SyncNetwork if engine == "fast" else ReferenceSyncNetwork
+    g = gen.path(3)  # 1 is the middle vertex
+
+    def program(ctx):
+        if ctx.v == 0:
+            return None  # halts in round 1
+        if ctx.v == 1:
+            ctx.broadcast("x")  # 2 copies sent; the one to 0 is dropped
+            yield
+            return None
+        yield
+        return None
+
+    res = cls(g).run(program)
+    # round 1: only the 1->2 copy counts (+ vertex 0's halt notice)
+    assert res.metrics.messages_per_round[0] == 1 + 1
+
+
+def test_fast_and_reference_count_identically_under_churn():
+    from repro.runtime.reference import ReferenceSyncNetwork
+
+    g = gen.gnp(40, 0.12, seed=3)
+
+    def program(ctx):
+        for r in range(1 + ctx.v % 4):
+            ctx.broadcast(("r", r))
+            yield
+        return None
+
+    fast = SyncNetwork(g).run(program)
+    ref = ReferenceSyncNetwork(g).run(program)
+    assert fast.metrics.messages_per_round == ref.metrics.messages_per_round
