@@ -47,6 +47,41 @@ def test_kernel_throughput(benchmark):
     time_once(benchmark, lambda: SyncNetwork(g).run(ping))
 
 
+def test_null_sink_overhead(benchmark):
+    """The instrumentation cost contract: running the kernel workload
+    with an ``EventBus(NullSink())`` attached stays within 5% of the
+    uninstrumented fast path (the engines skip event construction when
+    no sink is live), so BENCH_kernel numbers hold under observation."""
+    result = baseline.measure_null_sink_overhead()
+    emit(
+        "kernel_null_sink_overhead",
+        render_table(
+            "Null-sink instrumentation overhead (10-round broadcast, "
+            f"n={result['n']}, {result['repeats']} CPU-time pairs)",
+            ["bare CPU", "EventBus(NullSink()) CPU", "overhead", "floor"],
+            [
+                [
+                    f"{result['bare_cpu_s']:.4f}s",
+                    f"{result['null_sink_cpu_s']:.4f}s",
+                    f"{result['overhead_pct']:+.2f}%",
+                    f"{result['overhead_floor_pct']:+.2f}%",
+                ]
+            ],
+        ),
+    )
+    # gate on the noise-robust lower bound (see measure_null_sink_overhead)
+    assert (
+        result["overhead_floor_pct"] < baseline.MAX_NULL_SINK_OVERHEAD_PCT
+    ), result
+
+    g = gen.union_of_forests(8000, 3, seed=0)
+    from repro.obs import EventBus, NullSink
+
+    bus = EventBus(NullSink())
+    ping = baseline.broadcast_program()
+    time_once(benchmark, lambda: SyncNetwork(g).run(ping, bus=bus))
+
+
 def test_algorithm_wallclock_scaling(benchmark):
     """Wall-clock of the O(1)-averaged coloring is ~linear in n (work is
     proportional to RoundSum = O(n)): the Section 1.2 simulation story."""

@@ -4,9 +4,12 @@ Commands
 --------
 ``list``      algorithms and workloads.
 ``run``       run one algorithm on a workload, validate the solution and
-              print the round accounting.
+              print the round accounting; ``--trace-out`` records a JSONL
+              event trace, ``--profile`` prints engine phase timings.
 ``compare``   run an averaged algorithm and its worst-case baseline over an
               n-sweep and print the paper-table-shaped comparison.
+``inspect``   load a JSONL event trace: round narrative, active-vertex
+              decay table, and trace-vs-trace diffs.
 """
 
 from __future__ import annotations
@@ -16,8 +19,10 @@ import sys
 from typing import Callable
 
 import repro
+from repro import obs
 from repro.bench import WORKLOADS, make_workload, render_rows, sweep
 from repro.graphs import generators as gen
+from repro.obs import report as obs_report
 from repro import verify
 
 
@@ -115,6 +120,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--workload", default="forest_union_a3", choices=sorted(WORKLOADS)
     )
     run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="record the run's engine events to a JSONL trace "
+        "(inspect it with `repro inspect PATH`)",
+    )
+    run.add_argument(
+        "--profile",
+        action="store_true",
+        help="print per-phase engine wall-clock timings",
+    )
 
     cmp_ = sub.add_parser(
         "compare", help="averaged algorithm vs worst-case baseline over an n-sweep"
@@ -129,6 +146,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated n values",
     )
     cmp_.add_argument("--seeds", type=int, default=2)
+
+    ins = sub.add_parser(
+        "inspect", help="analyze a JSONL event trace written by --trace-out"
+    )
+    ins.add_argument("trace", help="path to the JSONL trace")
+    ins.add_argument(
+        "--limit", type=int, default=50, help="rounds shown in the narrative"
+    )
+    ins.add_argument(
+        "--decay",
+        action="store_true",
+        help="print the active-vertex decay table (the Lemma 6.1 shape)",
+    )
+    ins.add_argument(
+        "--diff",
+        default=None,
+        metavar="OTHER",
+        help="compare against a second trace (e.g. fast vs reference "
+        "engine); exits 1 on divergence",
+    )
     return p
 
 
@@ -152,7 +189,31 @@ def cmd_run(args, out=None) -> int:
     g, a = workload(args.n, seed=args.seed)
     ids = gen.random_ids(g.n, seed=args.seed + 1)
     driver, validator = ALGORITHMS[args.algorithm]
-    res = driver(g, a, ids, args.seed)
+
+    trace_out = getattr(args, "trace_out", None)
+    profile = getattr(args, "profile", False)
+    profiler = obs.PhaseProfiler() if profile else None
+    if trace_out or profile:
+        # Drivers build their networks internally, so observe them via
+        # the process-wide default bus for the duration of the run.
+        sinks = []
+        if trace_out:
+            sinks.append(
+                obs.JsonlSink(
+                    trace_out,
+                    meta={
+                        "algo": args.algorithm,
+                        "workload": args.workload,
+                        "n": args.n,
+                        "seed": args.seed,
+                    },
+                )
+            )
+        with obs.session(*sinks, profiler=profiler):
+            res = driver(g, a, ids, args.seed)
+    else:
+        res = driver(g, a, ids, args.seed)
+
     summary = validator(g, res)
     m = res.metrics
     print(f"workload : {args.workload}, {g} (a <= {a}, Delta = {g.max_degree()})", file=out)
@@ -164,6 +225,36 @@ def cmd_run(args, out=None) -> int:
         f"median {m.quantile(0.5)}",
         file=out,
     )
+    if trace_out:
+        print(f"trace    : {trace_out} (repro inspect {trace_out})", file=out)
+    if profiler is not None:
+        print("engine phase profile:", file=out)
+        print(profiler.report(), file=out)
+    return 0
+
+
+def cmd_inspect(args, out=None) -> int:
+    """Analyze a JSONL event trace (narrative, decay table, diffs)."""
+    out = out or sys.stdout
+    rep = obs_report.RunReport.from_path(args.trace)
+    if args.diff:
+        other = obs_report.RunReport.from_path(args.diff)
+        identical, text = obs_report.diff(
+            rep.main, other.main, label_a=args.trace, label_b=args.diff
+        )
+        print(text, file=out)
+        return 0 if identical else 1
+    print(f"trace    : {args.trace} [{rep.describe_meta()}]", file=out)
+    if not rep.collectors:
+        print("no engine events recorded", file=out)
+        return 1
+    for i, col in enumerate(rep.collectors, start=1):
+        if len(rep.collectors) > 1:
+            print(f"--- execution {i}/{len(rep.collectors)} ---", file=out)
+        print(f"summary  : {col.summary()}", file=out)
+        print(obs_report.narrative(col, limit=args.limit), file=out)
+        if args.decay:
+            print(obs_report.decay_table(col), file=out)
     return 0
 
 
@@ -196,6 +287,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_run(args)
     if args.command == "compare":
         return cmd_compare(args)
+    if args.command == "inspect":
+        return cmd_inspect(args)
     raise AssertionError("unreachable")
 
 

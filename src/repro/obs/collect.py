@@ -1,0 +1,201 @@
+"""The aggregating sink: per-vertex and per-round statistics from events.
+
+:class:`MetricsCollector` consumes one execution's event stream and
+accumulates exactly the distributions the paper's statements are about:
+
+* the per-vertex termination-round histogram (the distribution whose mean
+  is the vertex-averaged complexity T-bar and whose max is the worst-case
+  complexity T);
+* the active-vertex decay curve n_1, n_2, ... whose exponential decay is
+  Lemma 6.1 -- :meth:`check_decay` tests the shape directly (monotone
+  non-increasing, per-round ratio below a bound after a warm-up);
+* message-volume counters, split into *sent* (what ``ctx.send`` /
+  ``ctx.broadcast`` routed) and *delivered* (the engine's per-round
+  traffic including halt notices, net of same-round drops);
+* inbox-occupancy: how many distinct vertices receive mail each round and
+  the mean pending messages per such receiver.
+
+The collector assumes a single execution (rounds arriving in increasing
+order); :func:`repro.obs.report.segment_records` splits multi-run JSONL
+files before replaying them into one collector per execution.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.obs.events import Event
+from repro.obs.sinks import Sink
+
+
+def _grow(lst: list[int], upto: int) -> None:
+    while len(lst) < upto:
+        lst.append(0)
+
+
+class MetricsCollector(Sink):
+    """Aggregate an event stream into per-vertex / per-round statistics."""
+
+    def __init__(self) -> None:
+        #: n_i per round (index 0 = round 1), from ``round_start``
+        self.active: list[int] = []
+        #: messages routed by programs per round (``send`` + ``broadcast``)
+        self.sent: list[int] = []
+        #: engine traffic per round (= RoundMetrics.messages_per_round)
+        self.delivered: list[int] = []
+        #: distinct vertices receiving mail for the next round
+        self.receivers: list[int] = []
+        #: messages dropped per round (receiver terminated same round)
+        self.dropped: list[int] = []
+        #: terminating vertices per round, in engine order
+        self.terminated: list[list[int]] = []
+        #: committing vertices per round, in engine order
+        self.committed: list[list[int]] = []
+        #: vertex -> termination round (r(v))
+        self.termination_round: dict[int, int] = {}
+        #: vertex -> commit round (Feuilloley's first definition)
+        self.commit_round: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # sink interface
+    # ------------------------------------------------------------------
+    def emit(self, event: Event) -> None:
+        kind = event.kind
+        rnd = event.round
+        if kind == "round_start":
+            _grow(self.active, rnd - 1)
+            self.active.append(event.active)
+        elif kind == "send":
+            _grow(self.sent, rnd)
+            self.sent[rnd - 1] += 1
+        elif kind == "broadcast":
+            _grow(self.sent, rnd)
+            self.sent[rnd - 1] += event.msgs
+        elif kind == "halt":
+            while len(self.terminated) < rnd:
+                self.terminated.append([])
+            self.terminated[rnd - 1].append(event.v)
+            self.termination_round[event.v] = rnd
+        elif kind == "commit":
+            while len(self.committed) < rnd:
+                self.committed.append([])
+            self.committed[rnd - 1].append(event.v)
+            self.commit_round[event.v] = rnd
+        elif kind == "drop":
+            _grow(self.dropped, rnd)
+            self.dropped[rnd - 1] += event.msgs
+        elif kind == "round_end":
+            _grow(self.delivered, rnd)
+            self.delivered[rnd - 1] = event.msgs
+            _grow(self.receivers, rnd)
+            self.receivers[rnd - 1] = event.receivers
+
+    def replay(self, events: Iterable[Event]) -> "MetricsCollector":
+        """Feed an iterable of events through the collector; returns self."""
+        for ev in events:
+            self.emit(ev)
+        return self
+
+    # ------------------------------------------------------------------
+    # per-vertex distributions
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of vertices observed terminating."""
+        return len(self.termination_round)
+
+    @property
+    def rounds(self) -> int:
+        """Number of rounds the execution ran."""
+        return len(self.active)
+
+    def round_histogram(self) -> dict[int, int]:
+        """Termination round -> how many vertices finished there."""
+        return {r + 1: len(vs) for r, vs in enumerate(self.terminated) if vs}
+
+    def vertex_averaged(self) -> float:
+        """T-bar: mean termination round over the observed vertices."""
+        if not self.termination_round:
+            return 0.0
+        return sum(self.termination_round.values()) / len(self.termination_round)
+
+    def worst_case(self) -> int:
+        """T: max termination round over the observed vertices."""
+        return max(self.termination_round.values(), default=0)
+
+    def terminations_per_round(self) -> list[int]:
+        return [len(vs) for vs in self.terminated]
+
+    def commits_per_round(self) -> list[int]:
+        return [len(vs) for vs in self.committed]
+
+    # ------------------------------------------------------------------
+    # decay curve (Lemma 6.1)
+    # ------------------------------------------------------------------
+    def decay_curve(self) -> list[int]:
+        """n_1, n_2, ...: active vertices at the start of each round."""
+        return list(self.active)
+
+    def decay_ratios(self) -> list[float]:
+        """n_{i+1} / n_i for consecutive rounds (0.0 once n_i hits 0)."""
+        a = self.active
+        return [
+            (a[i + 1] / a[i]) if a[i] else 0.0 for i in range(len(a) - 1)
+        ]
+
+    def check_decay(self, warmup: int = 0, ratio: float = 0.5) -> bool:
+        """Does the curve have Lemma 6.1's shape?
+
+        True iff the active counts are monotone non-increasing over the
+        whole execution *and* every per-round ratio n_{i+1}/n_i after the
+        first ``warmup`` transitions is at most ``ratio`` (Lemma 6.1 with
+        eps gives ratio 2/(2+eps); the default 1/2 is eps = 2).
+        """
+        a = self.active
+        for i in range(len(a) - 1):
+            if a[i + 1] > a[i]:
+                return False
+        for i, r in enumerate(self.decay_ratios()):
+            if i >= warmup and r > ratio + 1e-12:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # message volume and inbox occupancy
+    # ------------------------------------------------------------------
+    def total_sent(self) -> int:
+        return sum(self.sent)
+
+    def total_delivered(self) -> int:
+        return sum(self.delivered)
+
+    def total_dropped(self) -> int:
+        return sum(self.dropped)
+
+    def inbox_occupancy(self) -> list[float]:
+        """Mean pending messages per receiving vertex, per round.
+
+        ``receivers[i]`` counts the distinct inboxes holding mail for
+        round i + 2; the occupancy divides the engine's routed volume
+        (sent minus same-round drops) across them.
+        """
+        out = []
+        for i, recv in enumerate(self.receivers):
+            if not recv:
+                out.append(0.0)
+                continue
+            routed = (self.sent[i] if i < len(self.sent) else 0) - (
+                self.dropped[i] if i < len(self.dropped) else 0
+            )
+            out.append(routed / recv)
+        return out
+
+    # ------------------------------------------------------------------
+    def summary(self) -> str:
+        """One-line digest mirroring ``RoundMetrics.summary``."""
+        return (
+            f"n={self.n} rounds={self.rounds} "
+            f"avg={self.vertex_averaged():.3f} worst={self.worst_case()} "
+            f"sent={self.total_sent()} delivered={self.total_delivered()} "
+            f"dropped={self.total_dropped()}"
+        )

@@ -17,6 +17,7 @@ from repro.runtime.network import RunResult, SyncNetwork
 from repro.runtime.metrics import RoundMetrics
 from repro.runtime.program import wait_rounds, wait_until_round
 from repro.runtime.reference import ReferenceSyncNetwork
+from repro.runtime.trace import Trace, TraceRecorder
 
 __all__ = [
     "Context",
@@ -25,6 +26,8 @@ __all__ = [
     "RouterState",
     "RunResult",
     "SyncNetwork",
+    "Trace",
+    "TraceRecorder",
     "wait_rounds",
     "wait_until_round",
 ]

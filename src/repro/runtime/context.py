@@ -39,6 +39,10 @@ from __future__ import annotations
 import random
 from typing import Any, Iterable, Mapping
 
+from repro.obs.events import Broadcast as _BroadcastEvent
+from repro.obs.events import Commit as _CommitEvent
+from repro.obs.events import Send as _SendEvent
+
 
 class RouterState:
     """Shared per-run routing state the engine wires into every context.
@@ -85,6 +89,7 @@ class Context:
         "_act",
         "_act_pos",
         "_sent_round",
+        "_bus",
     )
 
     def __init__(
@@ -126,6 +131,9 @@ class Context:
         self._act: list[int] | None = None
         self._act_pos: dict[int, int] | None = None
         self._sent_round = 0
+        #: the engine wires an active EventBus here; None (the default)
+        #: keeps send/broadcast/commit entirely event-free
+        self._bus = None
 
     # ------------------------------------------------------------------
     @property
@@ -197,6 +205,9 @@ class Context:
             raise RuntimeError(f"vertex {self.v} committed its output twice")
         self._commit_round = self._round
         self._commit_value = value
+        b = self._bus
+        if b is not None:
+            b.emit(_CommitEvent(self._round, self.v))
 
     @property
     def committed(self) -> bool:
@@ -227,6 +238,9 @@ class Context:
             slot.append((self.v, payload))
             rt.msgs += 1
         self._sent_round += 1
+        b = self._bus
+        if b is not None:
+            b.emit(_SendEvent(self._round, self.v, u))
 
     def send_many(self, targets: Iterable[int], payload: Any) -> None:
         for u in targets:
@@ -244,6 +258,10 @@ class Context:
                     out.append((u, payload))
                     sent += 1
             self._sent_round += sent
+            if sent:
+                b = self._bus
+                if b is not None:
+                    b.emit(_BroadcastEvent(self._round, self.v, sent))
             return
         act = self._act
         if not act:
@@ -259,6 +277,9 @@ class Context:
         k = len(act)
         rt.msgs += k
         self._sent_round += k
+        b = self._bus
+        if b is not None:
+            b.emit(_BroadcastEvent(self._round, self.v, k))
 
     # ------------------------------------------------------------------
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

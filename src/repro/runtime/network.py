@@ -51,14 +51,27 @@ only messages ever discarded are those *addressed to* a vertex that has
 terminated -- either dropped at the sender once the notice has arrived, or
 dropped by the engine in the one-round window where sender and receiver
 act simultaneously.
+
+Instrumentation
+---------------
+``run(bus=...)`` (or a process-wide bus installed via
+:func:`repro.obs.install`) attaches the :mod:`repro.obs` event layer:
+typed round/send/broadcast/commit/halt/drop events to pluggable sinks,
+plus per-round ``deliver``/``step``/``route`` wall-clock phases when the
+bus carries a :class:`repro.obs.PhaseProfiler`.  Without a live sink the
+engine never constructs an event, so the uninstrumented fast path is
+unchanged (gated to < 5% overhead by ``repro.bench.baseline``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Any, Callable, Generator, Mapping, Sequence
 
+import repro.obs as obs
 from repro.graphs.graph import Graph
+from repro.obs.events import Drop, Halt, RoundEnd, RoundStart
 from repro.runtime.context import _EMPTY_FROZENSET, Context, RouterState
 from repro.runtime.metrics import RoundMetrics
 
@@ -173,13 +186,41 @@ class SyncNetwork:
             gens.append(gen)
         return gens
 
+    @staticmethod
+    def _resolve_bus(bus, contexts: list[Context]):
+        """Resolve instrumentation for one run: ``(emit, profiler)``.
+
+        ``bus=None`` falls back to the process-wide default installed via
+        :func:`repro.obs.install` (usually absent).  Contexts are wired to
+        the bus -- making ``send``/``broadcast``/``commit`` emit events --
+        only when some sink is live, so a bus holding only a ``NullSink``
+        leaves the whole event path disabled and costs one branch per
+        engine section.  The profiler rides along independently.
+        """
+        if bus is None:
+            bus = obs.current()
+        if bus is None:
+            return None, None
+        emit = None
+        if bus.active:
+            emit = bus.emit
+            for ctx in contexts:
+                ctx._bus = bus
+        return emit, bus.profiler
+
     def run(
         self,
         program: ProgramFactory,
         max_rounds: int | None = None,
         collect_messages: bool = True,
+        bus=None,
     ) -> RunResult:
-        """Execute ``program`` on every vertex until all terminate."""
+        """Execute ``program`` on every vertex until all terminate.
+
+        ``bus`` optionally attaches a :class:`repro.obs.EventBus`; when
+        omitted the process-wide default (``repro.obs.install``) is used,
+        and when neither exists the run is entirely uninstrumented.
+        """
         g = self.graph
         n = g.n
         if max_rounds is None:
@@ -188,6 +229,7 @@ class SyncNetwork:
         contexts = self.make_contexts()
         gens = self._spawn(program, contexts)
         rows = g.csr_rows()
+        emit, prof = self._resolve_bus(bus, contexts)
 
         # Wire every context into the shared routing state: sends and
         # broadcasts deliver straight into the pooled mail slots below.
@@ -219,6 +261,10 @@ class SyncNetwork:
                     f"{len(active)} vertices still active after {max_rounds} rounds"
                 )
             active_trace.append(len(active))
+            if emit is not None:
+                emit(RoundStart(rnd, len(active)))
+            if prof is not None:
+                _t0 = perf_counter()
 
             # Deliver termination notices from the previous round (fan-out
             # over the terminated vertices' CSR rows).
@@ -257,6 +303,11 @@ class SyncNetwork:
                 cleared = ()
             newly_halted = []
 
+            if prof is not None:
+                _t1 = perf_counter()
+                prof.add("deliver", _t1 - _t0)
+                _t0 = _t1
+
             still_active: list[int] = []
             for v in active:
                 ctx = contexts[v]
@@ -286,8 +337,15 @@ class SyncNetwork:
                     rounds[v] = rnd
                     gens[v] = None
                     newly_halted.append((v, outputs[v]))
+                    if emit is not None:
+                        emit(Halt(rnd, v))
                 else:
                     still_active.append(v)
+
+            if prof is not None:
+                _t1 = perf_counter()
+                prof.add("step", _t1 - _t0)
+                _t0 = _t1
 
             # Messages routed this round to a receiver that terminated this
             # same round can never be delivered: drop them and take them
@@ -297,8 +355,19 @@ class SyncNetwork:
                     slot = slots_next[v]
                     if slot:
                         router.msgs -= len(slot)
+                        if emit is not None:
+                            emit(Drop(rnd, v, len(slot)))
                         slot.clear()
 
+            if emit is not None:
+                emit(
+                    RoundEnd(
+                        rnd,
+                        router.msgs + len(newly_halted),
+                        len({u for u in dirty_next if slots_next[u]}),
+                        len(newly_halted),
+                    )
+                )
             if collect_messages:
                 msg_trace.append(router.msgs + len(newly_halted))
             router.msgs = 0
@@ -314,6 +383,8 @@ class SyncNetwork:
             dirty_cur, dirty_next = dirty_next, dirty_cur
             router.slots_next = slots_next
             router.dirty = dirty_next
+            if prof is not None:
+                prof.add("route", perf_counter() - _t0)
 
         metrics = RoundMetrics(
             rounds=tuple(rounds),

@@ -22,8 +22,10 @@ Do not optimise this module; clarity is its contract.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Any, Generator
 
+from repro.obs.events import Drop, Halt, RoundEnd, RoundStart
 from repro.runtime.context import _EMPTY_FROZENSET
 from repro.runtime.network import (
     MaxRoundsExceeded,
@@ -49,6 +51,7 @@ class ReferenceSyncNetwork(SyncNetwork):
         program: ProgramFactory,
         max_rounds: int | None = None,
         collect_messages: bool = True,
+        bus=None,
     ) -> RunResult:
         """Execute ``program`` on every vertex until all terminate."""
         g = self.graph
@@ -60,6 +63,9 @@ class ReferenceSyncNetwork(SyncNetwork):
         gens: list[Generator[None, None, Any] | None] = self._spawn(
             program, contexts
         )
+        # Same instrumentation contract as the fast engine: the emitted
+        # event stream must be identical (the differential suite checks).
+        emit, prof = self._resolve_bus(bus, contexts)
 
         outputs: dict[int, Any] = {}
         rounds = [0] * n
@@ -77,6 +83,10 @@ class ReferenceSyncNetwork(SyncNetwork):
                     f"{len(active)} vertices still active after {max_rounds} rounds"
                 )
             active_trace.append(len(active))
+            if emit is not None:
+                emit(RoundStart(rnd, len(active)))
+            if prof is not None:
+                _t0 = perf_counter()
 
             # Deliver termination notices from the previous round.
             if newly_halted:
@@ -92,6 +102,11 @@ class ReferenceSyncNetwork(SyncNetwork):
             else:
                 cleared = set()
             newly_halted = []
+
+            if prof is not None:
+                _t1 = perf_counter()
+                prof.add("deliver", _t1 - _t0)
+                _t0 = _t1
 
             msg_count = 0
             next_pending: dict[int, dict[int, Any]] = {}
@@ -124,6 +139,8 @@ class ReferenceSyncNetwork(SyncNetwork):
                     rounds[v] = rnd
                     gens[v] = None
                     newly_halted.append((v, outputs[v]))
+                    if emit is not None:
+                        emit(Halt(rnd, v))
                 else:
                     still_active.append(v)
                 # Route outgoing messages.  A vertex may send in the round
@@ -143,6 +160,11 @@ class ReferenceSyncNetwork(SyncNetwork):
                         msg_count += 1
                     ctx._outgoing = []
 
+            if prof is not None:
+                _t1 = perf_counter()
+                prof.add("step", _t1 - _t0)
+                _t0 = _t1
+
             # Drop messages addressed to vertices that terminated this
             # round: they can never be delivered (the receiver performs no
             # further computation), so they must not linger in ``pending``
@@ -150,12 +172,26 @@ class ReferenceSyncNetwork(SyncNetwork):
             for v, _ in newly_halted:
                 box = next_pending.pop(v, None)
                 if box:
-                    msg_count -= sum(len(payloads) for payloads in box.values())
+                    dropped = sum(len(payloads) for payloads in box.values())
+                    msg_count -= dropped
+                    if emit is not None:
+                        emit(Drop(rnd, v, dropped))
 
+            if emit is not None:
+                emit(
+                    RoundEnd(
+                        rnd,
+                        msg_count + len(newly_halted),
+                        len(next_pending),
+                        len(newly_halted),
+                    )
+                )
             if collect_messages:
                 msg_trace.append(msg_count + len(newly_halted))
             active = still_active
             pending = next_pending
+            if prof is not None:
+                prof.add("route", perf_counter() - _t0)
 
         metrics = RoundMetrics(
             rounds=tuple(rounds),

@@ -1,17 +1,41 @@
 """Execution tracing: per-round observability of a run.
 
-:class:`TraceRecorder` wraps a program factory and records, per round,
-which vertices terminated and how many messages each vertex sent, yielding
-a round-by-round narrative (the "what happened when" view that complements
-the aggregate :class:`repro.runtime.metrics.RoundMetrics`).  Used by tests
-asserting fine-grained schedule properties and by diagnostic tooling.
+A :class:`Trace` is the round-by-round narrative (the "what happened
+when" view that complements the aggregate
+:class:`repro.runtime.metrics.RoundMetrics`): which vertices terminated
+or committed each round, and how many messages the programs sent.
+
+Two ways to build one:
+
+* :class:`TraceRecorder` -- a thin :class:`repro.obs.EventBus` sink; the
+  preferred path.  Attach it to a run and the engines' event stream
+  fills the trace::
+
+      rec = TraceRecorder()
+      SyncNetwork(g).run(program, bus=EventBus(rec))
+      print(rec.trace.narrative())
+
+* :func:`traced` -- the legacy program-factory wrapper, kept for
+  backwards compatibility but **deprecated**: it intercepts every vertex
+  generator, costs a wrapper frame per vertex per round, and only sees
+  what the wrapper can observe.  The sink path costs nothing when not
+  attached and shares the engines' single instrumentation substrate.
+
+Message counts: a trace counts what the *programs sent* (``ctx.send`` /
+``ctx.broadcast`` payloads actually routed), which differs from
+``RoundMetrics.messages_per_round`` -- the engine's delivered traffic --
+by same-round drops and halt notices.  Both builders agree on this
+definition, and the differential suite pins them to each other.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, Generator
 
+from repro.obs.events import Event
+from repro.obs.sinks import Sink
 from repro.runtime.context import Context
 
 
@@ -32,9 +56,21 @@ class Trace:
     records: list[RoundRecord] = field(default_factory=list)
 
     def record(self, rnd: int) -> RoundRecord:
-        while len(self.records) < rnd:
-            self.records.append(RoundRecord(round=len(self.records) + 1))
-        return self.records[rnd - 1]
+        """The record for 1-based round ``rnd``, creating it (and any
+        earlier missing rounds) on first access.
+
+        Records are stored densely at index ``rnd - 1`` with ``round``
+        always ``index + 1``, so out-of-order access can neither gap nor
+        duplicate the sequence; a non-positive round is rejected rather
+        than silently aliasing the last record (``records[-1]``, the bug
+        the old unchecked indexing had).
+        """
+        if rnd < 1:
+            raise ValueError(f"rounds are 1-based, got {rnd}")
+        records = self.records
+        while len(records) < rnd:
+            records.append(RoundRecord(round=len(records) + 1))
+        return records[rnd - 1]
 
     def termination_rounds(self) -> dict[int, int]:
         out = {}
@@ -68,10 +104,50 @@ class Trace:
         return "\n".join(lines)
 
 
+class TraceRecorder(Sink):
+    """An :class:`repro.obs.EventBus` sink that builds a :class:`Trace`.
+
+    Consumes the engines' typed events -- ``round_start`` creates the
+    round's record, ``send``/``broadcast`` accumulate the per-round
+    message count, ``commit`` and ``halt`` append the vertex in engine
+    order -- producing exactly the trace :func:`traced` used to build by
+    wrapping every program generator, without touching the programs.
+    """
+
+    def __init__(self, trace: Trace | None = None) -> None:
+        self.trace = trace if trace is not None else Trace()
+
+    def emit(self, event: Event) -> None:
+        kind = event.kind
+        if kind == "round_start":
+            self.trace.record(event.round)
+        elif kind == "broadcast":
+            self.trace.record(event.round).messages += event.msgs
+        elif kind == "send":
+            self.trace.record(event.round).messages += 1
+        elif kind == "halt":
+            self.trace.record(event.round).terminated.append(event.v)
+        elif kind == "commit":
+            self.trace.record(event.round).committed.append(event.v)
+
+
 def traced(
     program: Callable[[Context], Generator[None, None, Any]], trace: Trace
 ) -> Callable[[Context], Generator[None, None, Any]]:
-    """Wrap a program factory so each vertex reports into ``trace``."""
+    """Wrap a program factory so each vertex reports into ``trace``.
+
+    .. deprecated::
+        Attach a :class:`TraceRecorder` sink to the run's
+        :class:`repro.obs.EventBus` instead; the wrapper path adds a
+        generator frame per vertex per round and exists only for
+        backwards compatibility.
+    """
+    warnings.warn(
+        "traced() is deprecated; attach a TraceRecorder sink to an "
+        "EventBus (SyncNetwork.run(bus=...)) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
 
     def wrapper(ctx: Context):
         gen = program(ctx)

@@ -44,6 +44,23 @@ def test_compare_flags_regressions():
     assert baseline.compare_to_baseline({"speedup": {"64000": 4.0}}, stored) == []
 
 
+def test_compare_flags_instrumentation_overhead():
+    stored = {"speedup": {}}
+    overhead = {
+        "n": 8000,
+        "bare_cpu_s": 0.2,
+        "null_sink_cpu_s": 0.22,
+        "overhead_pct": 9.0,
+        "overhead_floor_pct": 7.5,
+    }
+    current = {"speedup": {}, "null_sink_overhead": dict(overhead)}
+    problems = baseline.compare_to_baseline(current, stored)
+    assert len(problems) == 1 and "instrumentation overhead" in problems[0]
+    # a high median with a low floor is noise, not a regression
+    current["null_sink_overhead"]["overhead_floor_pct"] = 0.4
+    assert baseline.compare_to_baseline(current, stored) == []
+
+
 def test_cli_check_against_fresh_file(tmp_path, capsys):
     path = tmp_path / "BENCH_kernel.json"
     baseline.write_baseline(str(path), ns=(100,), rounds=2)
@@ -53,7 +70,7 @@ def test_cli_check_against_fresh_file(tmp_path, capsys):
     # note: --quick uses its own ns; unknown keys are tolerated, and the
     # fast engine must still beat the reference
     assert "kernel perf check:" in out
-    assert rc == 0
+    assert rc == 0, out
 
 
 def test_committed_baseline_is_valid():

@@ -47,3 +47,70 @@ def test_missing_command_rejected():
 
 def test_every_baseline_key_is_an_algorithm():
     assert set(BASELINES) <= set(ALGORITHMS)
+
+
+def test_run_trace_out_then_inspect(tmp_path, capsys):
+    path = str(tmp_path / "run.jsonl")
+    assert main(["run", "partition", "-n", "300", "--trace-out", path]) == 0
+    out = capsys.readouterr().out
+    assert f"repro inspect {path}" in out
+
+    assert main(["inspect", path, "--decay"]) == 0
+    out = capsys.readouterr().out
+    assert "algo=partition" in out
+    assert "round    1:" in out
+    assert "n_i" in out and "shape:" in out
+
+
+def test_inspect_reproduces_trace_counts(tmp_path, capsys):
+    """Acceptance: the counts `repro inspect` derives from a JSONL trace
+    equal what a live Trace records for the same seeded run."""
+    import repro
+    from repro import obs
+    from repro.bench import make_workload
+    from repro.graphs import generators as gen
+    from repro.obs.report import RunReport
+    from repro.runtime.trace import TraceRecorder
+
+    path = str(tmp_path / "run.jsonl")
+    assert main(["run", "partition", "-n", "400", "--seed", "3", "--trace-out", path]) == 0
+    capsys.readouterr()
+
+    # replay the exact run cmd_run performs, recording a live Trace
+    g, a = make_workload("forest_union_a3")(400, seed=3)
+    ids = gen.random_ids(g.n, seed=4)
+    rec = TraceRecorder()
+    with obs.session(rec):
+        repro.run_partition(g, a=a, ids=ids)
+    trace = rec.trace
+
+    col = RunReport.from_path(path).main
+    assert col.terminations_per_round() == trace.terminations_per_round()
+    # commits_per_round stops at the last commit; pad to the run's length
+    commits = col.commits_per_round()
+    commits += [0] * (len(trace.records) - len(commits))
+    assert commits == [len(r.committed) for r in trace.records]
+    assert col.sent == trace.messages_per_round()
+
+
+def test_inspect_diff_identical_and_divergent(tmp_path, capsys):
+    a = str(tmp_path / "a.jsonl")
+    b = str(tmp_path / "b.jsonl")
+    c = str(tmp_path / "c.jsonl")
+    assert main(["run", "partition", "-n", "200", "--trace-out", a]) == 0
+    assert main(["run", "partition", "-n", "200", "--trace-out", b]) == 0
+    assert main(["run", "partition", "-n", "200", "--seed", "9", "--trace-out", c]) == 0
+    capsys.readouterr()
+
+    assert main(["inspect", a, "--diff", b]) == 0
+    assert "identical" in capsys.readouterr().out
+
+    assert main(["inspect", a, "--diff", c]) == 1
+    assert "DIVERGENT" in capsys.readouterr().out
+
+
+def test_run_profile_prints_phases(capsys):
+    assert main(["run", "mis", "-n", "200", "--profile"]) == 0
+    out = capsys.readouterr().out
+    assert "engine phase profile:" in out
+    assert "step" in out and "route" in out and "deliver" in out

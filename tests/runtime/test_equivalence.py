@@ -214,6 +214,46 @@ def test_trace_equivalence_on_chatter(family):
     assert t_fast.records == t_ref.records
 
 
+@pytest.mark.parametrize("family", FAMILIES)
+@pytest.mark.parametrize("seed", SEEDS)
+def test_event_streams_identical(family, seed):
+    """The instrumentation layer sees the *same execution* from both
+    engines: the full typed event stream (round boundaries, every send,
+    broadcast, commit, halt, and drop, in order) is bit-identical."""
+    from repro.graphs import generators as gen
+    from repro.obs.events import EventBus
+    from repro.obs.sinks import MemorySink
+
+    wl = WORKLOADS[family]
+    g, _a = wl(N, seed=seed)
+    ids = gen.random_ids(g.n, seed=1000 + seed)
+    streams = []
+    for cls in (SyncNetwork, ReferenceSyncNetwork):
+        mem = MemorySink()
+        cls(g, ids=ids, seed=seed).run(prog_send_gossip, bus=EventBus(mem))
+        streams.append(mem.events)
+    fast_events, ref_events = streams
+    assert fast_events == ref_events
+    assert any(e.kind == "send" for e in fast_events)
+
+
+@pytest.mark.parametrize("program_name", sorted(PROGRAMS))
+def test_event_streams_identical_across_programs(program_name):
+    from repro.graphs import generators as gen
+    from repro.obs.events import EventBus
+    from repro.obs.sinks import MemorySink
+
+    wl = WORKLOADS["forest_union_a3"]
+    g, _a = wl(N, seed=2)
+    ids = gen.random_ids(g.n, seed=1002)
+    streams = []
+    for cls in (SyncNetwork, ReferenceSyncNetwork):
+        mem = MemorySink()
+        cls(g, ids=ids, seed=2).run(PROGRAMS[program_name], bus=EventBus(mem))
+        streams.append(mem.events)
+    assert streams[0] == streams[1]
+
+
 def test_newly_halted_and_inbox_views_agree():
     """Spot-check the per-round *views* (inbox dict contents, newly_halted
     sets) agree between engines, not just the aggregate result."""

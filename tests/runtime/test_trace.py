@@ -1,11 +1,17 @@
 """Tests for the execution tracer."""
 
+import warnings
+
+import pytest
+
 from repro.core.common import LocalView
 from repro.core.partition import join_h_set
 from repro.graphs import generators as gen
 from repro.graphs.graph import Graph
+from repro.obs.events import EventBus
 from repro.runtime.network import SyncNetwork
-from repro.runtime.trace import Trace, traced
+from repro.runtime.reference import ReferenceSyncNetwork
+from repro.runtime.trace import Trace, TraceRecorder, traced
 
 
 def test_trace_records_terminations_per_round():
@@ -77,6 +83,62 @@ def test_trace_partition_matches_decay():
         actives.append(alive)
         alive -= t
     assert tuple(actives) == res.metrics.active_trace
+
+
+def test_record_out_of_order_access_stays_dense():
+    """record() fills any missing earlier rounds: the sequence can never
+    gap or duplicate however rounds are first touched."""
+    trace = Trace()
+    trace.record(3).terminated.append(7)
+    trace.record(1).messages += 2
+    trace.record(5)
+    trace.record(3).terminated.append(8)
+    assert [rec.round for rec in trace.records] == [1, 2, 3, 4, 5]
+    assert trace.records[2].terminated == [7, 8]
+    assert trace.messages_per_round() == [2, 0, 0, 0, 0]
+    assert len(trace.records) == 5  # re-access created nothing new
+
+
+def test_record_rejects_non_positive_rounds():
+    """The old unchecked indexing silently aliased records[-1] for round
+    0; it is now an error."""
+    trace = Trace()
+    trace.record(2)
+    with pytest.raises(ValueError, match="1-based"):
+        trace.record(0)
+    with pytest.raises(ValueError, match="1-based"):
+        trace.record(-1)
+    assert [rec.round for rec in trace.records] == [1, 2]
+
+
+def test_trace_recorder_matches_traced_wrapper():
+    """The sink path produces the exact trace the deprecated wrapper
+    builds, under both engines."""
+    g = gen.union_of_forests(60, 3, seed=4)
+
+    def program(ctx):
+        lifetime = 1 + ctx.v % 4
+        for r in range(lifetime):
+            ctx.broadcast(("r", r))
+            yield
+        if ctx.v % 2:
+            ctx.commit(ctx.v)
+            yield
+        return None
+
+    for cls in (SyncNetwork, ReferenceSyncNetwork):
+        rec = TraceRecorder()
+        cls(g).run(program, bus=EventBus(rec))
+        legacy = Trace()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            cls(g).run(traced(program, legacy))
+        assert rec.trace.records == legacy.records
+
+
+def test_traced_emits_deprecation_warning():
+    with pytest.warns(DeprecationWarning, match="TraceRecorder"):
+        traced(lambda ctx: iter(()), Trace())
 
 
 def test_narrative_renders():
