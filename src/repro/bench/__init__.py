@@ -2,7 +2,14 @@
 renderers shared by ``benchmarks/`` and ``examples/``."""
 
 from repro.bench.workloads import WORKLOADS, Workload, make_workload
-from repro.bench.runner import Series, SweepPoint, sweep, summarize
+from repro.bench.runner import (
+    Series,
+    SweepDegradedWarning,
+    SweepPoint,
+    SweepTimeout,
+    sweep,
+    summarize,
+)
 from repro.bench.tables import render_table, render_rows
 
 __all__ = [
@@ -10,7 +17,9 @@ __all__ = [
     "Workload",
     "make_workload",
     "Series",
+    "SweepDegradedWarning",
     "SweepPoint",
+    "SweepTimeout",
     "sweep",
     "summarize",
     "render_table",

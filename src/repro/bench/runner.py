@@ -14,15 +14,24 @@ parallel path returns results identical to the serial path, in
 deterministic order; only the recorded wall-clock differs.  Workers
 inherit the (frequently unpicklable: lambdas, closures) ``run`` callable
 through fork-time module state rather than pickling, which is why the
-pool requires the ``fork`` start method; anywhere it is unavailable the
-sweep silently degrades to the serial path.  ``parallel=False`` is the
+pool requires the ``fork`` start method.  ``parallel=False`` is the
 explicit escape hatch.
+
+Degradation is never silent: every sweep records how it actually executed
+on :attr:`Series.mode` (``"parallel"``, ``"serial"``, or ``"salvaged"``),
+and any downgrade from the selected parallel path raises a
+:class:`SweepDegradedWarning`.  A worker process dying (OOM kill,
+segfault in a native extension) does not lose the sweep: completed cells
+are kept and only the lost ``(n, seed)`` cells are re-run serially --
+identical values, ``mode == "salvaged"``.  A per-cell ``timeout`` converts
+a hung worker into a typed :class:`SweepTimeout` naming the cell.
 """
 
 from __future__ import annotations
 
 import os
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
@@ -49,12 +58,41 @@ class SweepPoint:
     wall: float = field(default=0.0, compare=False)
 
 
+class SweepDegradedWarning(RuntimeWarning):
+    """The sweep could not run (fully) on the selected parallel path.
+
+    Raised as a warning whenever parallelism was selected but the sweep
+    executed serially or had to salvage a broken worker pool; the
+    resulting values are still correct (both paths are deterministic),
+    only the execution strategy changed.  Check :attr:`Series.mode` for
+    what actually happened.
+    """
+
+
+class SweepTimeout(TimeoutError):
+    """A sweep cell exceeded the per-cell ``timeout``; names the cell."""
+
+    def __init__(self, n: int, seed: int, timeout: float) -> None:
+        self.n = n
+        self.seed = seed
+        self.timeout = timeout
+        super().__init__(
+            f"sweep cell (n={n}, seed={seed}) exceeded the per-cell "
+            f"timeout of {timeout:g}s"
+        )
+
+
 @dataclass
 class Series:
     """One algorithm's measured series over an n-sweep."""
 
     label: str
     points: list[SweepPoint]
+    #: how the sweep actually executed: ``"parallel"`` (process pool),
+    #: ``"serial"``, or ``"salvaged"`` (pool broke mid-sweep; completed
+    #: cells kept, lost cells re-run serially).  Excluded from equality:
+    #: all modes produce identical values.
+    mode: str = field(default="serial", compare=False)
 
     @property
     def ns(self) -> list[int]:
@@ -131,32 +169,91 @@ def _pool_task(args: tuple[int, int]) -> tuple[float, int, int | None, float]:
 
 
 def _run_points_parallel(
-    run, workload, colors_of, tasks: list[tuple[int, int]], max_workers: int | None
-) -> list[tuple[float, int, int | None, float]] | None:
+    run,
+    workload,
+    colors_of,
+    tasks: list[tuple[int, int]],
+    max_workers: int | None,
+    timeout: float | None,
+) -> tuple[list[tuple[float, int, int | None, float]] | None, str]:
     """Execute the (n, seed) tasks across forked workers.
 
-    Returns None if the pool cannot be set up (caller falls back to the
-    serial path).  Results come back in task order via ``Executor.map``.
+    Returns ``(results, mode)`` with results in task order; ``(None,
+    reason)`` if the pool cannot be set up (caller falls back to the
+    serial path).  A broken pool (worker killed mid-sweep) is *salvaged*:
+    futures that already completed keep their results and only the lost
+    cells are re-run serially in this process, so the sweep still returns
+    a complete, deterministic result set (``mode == "salvaged"``).
+
+    ``timeout`` bounds the additional wait for each cell once its
+    predecessors (in task order) have been collected; a cell exceeding it
+    raises :class:`SweepTimeout` naming the cell.
     """
     import multiprocessing
-    from concurrent.futures import ProcessPoolExecutor
+    from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+    from concurrent.futures import TimeoutError as _FuturesTimeout
 
     try:
         mp_ctx = multiprocessing.get_context("fork")
     except ValueError:  # pragma: no cover - non-fork platforms
-        return None
+        return None, "fork start method unavailable"
     if max_workers is None:
         max_workers = min(len(tasks), os.cpu_count() or 1)
+    results: list = [None] * len(tasks)
+    lost: list[int] = []
     # Stash the callables *before* the pool forks so workers inherit them;
-    # this sidesteps pickling (benchmarks pass lambdas and closures).
-    _WORKER_STATE["run"] = run
-    _WORKER_STATE["workload"] = workload
-    _WORKER_STATE["colors_of"] = colors_of
+    # this sidesteps pickling (benchmarks pass lambdas and closures).  The
+    # stash lives inside the try so any failure -- including pool setup --
+    # still clears it (a leak here would leak the graphs closed over).
     try:
-        with ProcessPoolExecutor(max_workers=max_workers, mp_context=mp_ctx) as ex:
-            return list(ex.map(_pool_task, tasks))
+        _WORKER_STATE["run"] = run
+        _WORKER_STATE["workload"] = workload
+        _WORKER_STATE["colors_of"] = colors_of
+        ex = ProcessPoolExecutor(max_workers=max_workers, mp_context=mp_ctx)
+        try:
+            futures = [ex.submit(_pool_task, t) for t in tasks]
+            broken = False
+            for i, fut in enumerate(futures):
+                if broken:
+                    # The pool already died: keep whatever finished
+                    # before the breakage, mark the rest as lost.
+                    if (
+                        fut.done()
+                        and not fut.cancelled()
+                        and fut.exception() is None
+                    ):
+                        results[i] = fut.result()
+                    else:
+                        lost.append(i)
+                    continue
+                try:
+                    results[i] = fut.result(timeout=timeout)
+                except _FuturesTimeout:
+                    n, s = tasks[i]
+                    raise SweepTimeout(n, s, timeout) from None
+                except BrokenExecutor:
+                    broken = True
+                    lost.append(i)
+        finally:
+            # wait=False: on SweepTimeout the hung worker must not block
+            # the shutdown; pending futures are cancelled either way.
+            ex.shutdown(wait=False, cancel_futures=True)
     finally:
         _WORKER_STATE.clear()
+
+    if not lost:
+        return results, "parallel"
+    warnings.warn(
+        f"sweep worker pool broke after {len(tasks) - len(lost)} of "
+        f"{len(tasks)} cells; re-running the {len(lost)} lost cells "
+        "serially",
+        SweepDegradedWarning,
+        stacklevel=3,
+    )
+    for i in lost:
+        n, s = tasks[i]
+        results[i] = _measure_point(run, workload, colors_of, n, s)
+    return results, "salvaged"
 
 
 def sweep(
@@ -168,6 +265,7 @@ def sweep(
     colors_of: Callable[[object], int] | None = None,
     parallel: bool | None = None,
     max_workers: int | None = None,
+    timeout: float | None = None,
 ) -> Series:
     """Run ``run(graph, a, ids, seed)`` across the sweep.
 
@@ -177,15 +275,44 @@ def sweep(
     ``parallel=None`` (default) auto-enables the process pool for sweeps
     with at least ``_AUTO_PARALLEL_MIN_TASKS`` points when ``fork`` is
     available; ``parallel=True`` forces it, ``parallel=False`` is the
-    serial escape hatch.  Both paths return identical Series (wall-clock
-    fields aside, which are excluded from equality).
+    serial escape hatch.  All paths return identical Series values; how
+    the sweep actually executed is recorded on :attr:`Series.mode`, and
+    any downgrade from a selected parallel path (fork unavailable, pool
+    setup failure, worker death mid-sweep) raises a
+    :class:`SweepDegradedWarning` rather than passing silently.
+
+    ``timeout`` (parallel path only) bounds the per-cell wait; a cell
+    exceeding it raises :class:`SweepTimeout` naming the ``(n, seed)``
+    cell instead of hanging the sweep.
     """
     tasks = [(n, s) for n in ns for s in range(seeds)]
     if parallel is None:
         parallel = len(tasks) >= _AUTO_PARALLEL_MIN_TASKS and _fork_available()
     results: list[tuple[float, int, int | None, float]] | None = None
-    if parallel and len(tasks) > 1 and _fork_available():
-        results = _run_points_parallel(run, workload, colors_of, tasks, max_workers)
+    mode = "serial"
+    if parallel and len(tasks) > 1:
+        if _fork_available():
+            results, mode = _run_points_parallel(
+                run, workload, colors_of, tasks, max_workers, timeout
+            )
+            if results is None:
+                warnings.warn(
+                    f"parallel sweep unavailable ({mode}); running serially",
+                    SweepDegradedWarning,
+                    stacklevel=2,
+                )
+                mode = "serial"
+        else:
+            reason = (
+                "disabled by REPRO_NO_PARALLEL_SWEEP"
+                if os.environ.get("REPRO_NO_PARALLEL_SWEEP")
+                else "fork start method unavailable"
+            )
+            warnings.warn(
+                f"parallel sweep unavailable ({reason}); running serially",
+                SweepDegradedWarning,
+                stacklevel=2,
+            )
     if results is None:
         results = [
             _measure_point(run, workload, colors_of, n, s) for n, s in tasks
@@ -211,7 +338,7 @@ def sweep(
                 wall=sum(c[3] for c in cells),
             )
         )
-    return Series(label=label, points=points)
+    return Series(label=label, points=points, mode=mode)
 
 
 def summarize(series: Series) -> str:

@@ -10,6 +10,9 @@ Commands
               n-sweep and print the paper-table-shaped comparison.
 ``inspect``   load a JSONL event trace: round narrative, active-vertex
               decay table, and trace-vs-trace diffs.
+``fuzz``      sample (algorithm x workload x fault plan) triples, run each
+              under the seeded fault adversary, shrink violations to
+              minimal replayable artifacts; ``--smoke`` is the CI gate.
 """
 
 from __future__ import annotations
@@ -132,6 +135,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print per-phase engine wall-clock timings",
     )
+    run.add_argument(
+        "--faults",
+        default=None,
+        metavar="JSON",
+        help="inject a fault plan: inline JSON or @path to a JSON file, "
+        'e.g. \'{"seed": 7, "crashes": {"hazard": 0.01}}\'; validation '
+        "is restricted to the surviving subgraph",
+    )
 
     cmp_ = sub.add_parser(
         "compare", help="averaged algorithm vs worst-case baseline over an n-sweep"
@@ -166,6 +177,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="compare against a second trace (e.g. fast vs reference "
         "engine); exits 1 on divergence",
     )
+
+    fz = sub.add_parser(
+        "fuzz",
+        help="fault-injection fuzzing: sample cases, shrink violations "
+        "to replayable artifacts",
+    )
+    fz.add_argument("--budget", type=int, default=40, help="cases to run")
+    fz.add_argument("--seed", type=int, default=0, help="case-space seed")
+    fz.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI gate: crash-only plans over the seed algorithm zoo; "
+        "exits 1 on any survivor-safety violation",
+    )
+    fz.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="directory for replayable failure artifacts "
+        "(created only when something fails)",
+    )
+    fz.add_argument(
+        "--algorithms",
+        default=None,
+        metavar="A,B,...",
+        help="restrict to a comma-separated subset of the zoo",
+    )
+    fz.add_argument(
+        "--replay",
+        default=None,
+        metavar="ARTIFACT",
+        help="re-run one saved failure artifact instead of fuzzing",
+    )
+    fz.add_argument(
+        "-v", "--verbose", action="store_true", help="print every case"
+    )
     return p
 
 
@@ -182,6 +229,57 @@ def cmd_list(out=None) -> int:
     return 0
 
 
+def _parse_fault_plan(spec: str):
+    """``--faults`` value: inline JSON, or ``@path`` to a JSON file."""
+    import json
+
+    from repro.faults import FaultPlan
+
+    text = spec
+    if spec.startswith("@"):
+        with open(spec[1:]) as fh:
+            text = fh.read()
+    return FaultPlan.from_dict(json.loads(text))
+
+
+def _drive(driver, g, a, ids, seed, plan, out):
+    """Run the driver, under the fault plan if one was given.
+
+    Returns ``(result, crashed)``; ``(None, crashed)`` when the
+    non-termination watchdog fired.
+    """
+    if plan is None or plan.empty:
+        return driver(g, a, ids, seed), ()
+    from repro import faults as flt
+    from repro.runtime import RoundLimitExceeded
+
+    injector = plan.injector()
+    try:
+        with flt.session(injector):
+            res = driver(g, a, ids, seed)
+    except RoundLimitExceeded as e:
+        print(f"faults   : {plan.describe()}", file=out)
+        print(f"crashed  : {sorted(injector.crashed)}", file=out)
+        print(f"NON-TERMINATION: {e}", file=out)
+        return None, tuple(sorted(injector.crashed))
+    return res, tuple(sorted(injector.crashed))
+
+
+def _validate_survivors(algorithm, g, res, crashed, validator):
+    """Under faults, check safety on the surviving subgraph only."""
+    from repro.faults import harness
+
+    check = harness.zoo().get(algorithm, (None, None))[1]
+    if check is None:
+        return "validation skipped (no survivor-safety check for this algorithm)"
+    alive = set(g.vertices()) - set(crashed)
+    check(g, res, alive)
+    return (
+        f"survivor-safety OK on {len(alive)}/{g.n} surviving vertices "
+        f"(crashed: {sorted(crashed) if crashed else 'none'})"
+    )
+
+
 def cmd_run(args, out=None) -> int:
     """Run one algorithm, validate the solution, print metrics."""
     out = out or sys.stdout
@@ -189,6 +287,11 @@ def cmd_run(args, out=None) -> int:
     g, a = workload(args.n, seed=args.seed)
     ids = gen.random_ids(g.n, seed=args.seed + 1)
     driver, validator = ALGORITHMS[args.algorithm]
+
+    plan = None  # FaultPlan, when --faults is given
+    faults_spec = getattr(args, "faults", None)
+    if faults_spec:
+        plan = _parse_fault_plan(faults_spec)
 
     trace_out = getattr(args, "trace_out", None)
     profile = getattr(args, "profile", False)
@@ -210,14 +313,21 @@ def cmd_run(args, out=None) -> int:
                 )
             )
         with obs.session(*sinks, profiler=profiler):
-            res = driver(g, a, ids, args.seed)
+            res, crashed = _drive(driver, g, a, ids, args.seed, plan, out)
     else:
-        res = driver(g, a, ids, args.seed)
+        res, crashed = _drive(driver, g, a, ids, args.seed, plan, out)
+    if res is None:
+        return 2  # watchdog fired under the fault plan
 
-    summary = validator(g, res)
+    if plan is not None and not plan.empty:
+        summary = _validate_survivors(args.algorithm, g, res, crashed, validator)
+    else:
+        summary = validator(g, res)
     m = res.metrics
     print(f"workload : {args.workload}, {g} (a <= {a}, Delta = {g.max_degree()})", file=out)
     print(f"algorithm: {args.algorithm}", file=out)
+    if plan is not None and not plan.empty:
+        print(f"faults   : {plan.describe()}", file=out)
     print(f"solution : {summary}", file=out)
     print(
         f"rounds   : vertex-averaged {m.vertex_averaged:.2f} | "
@@ -278,6 +388,48 @@ def cmd_compare(args, out=None) -> int:
     return 0
 
 
+def cmd_fuzz(args, out=None) -> int:
+    """Fault-injection fuzzing / artifact replay; exits 1 on violations."""
+    out = out or sys.stdout
+    from repro.faults import fuzz as fz
+    from repro.faults.harness import replay_artifact
+
+    if args.replay:
+        outcome = replay_artifact(args.replay)
+        print(outcome.describe(), file=out)
+        if outcome.detail and "\n" in outcome.detail:
+            print(outcome.detail, file=out)
+        return 1 if outcome.status == fz.OUTCOME_VIOLATION else 0
+
+    log = (lambda line: print(line, file=out)) if args.verbose else None
+    algorithms = args.algorithms.split(",") if args.algorithms else None
+    if args.smoke:
+        report = fz.smoke(
+            budget=args.budget, seed=args.seed, out_dir=args.out, log=log
+        )
+    else:
+        report = fz.fuzz(
+            budget=args.budget,
+            seed=args.seed,
+            out_dir=args.out,
+            algorithms=algorithms,
+            log=log,
+        )
+    print(report.summary(), file=out)
+    for outcome, original, path in report.violations:
+        print(f"VIOLATION (shrunk from n={original.n}):", file=out)
+        print(f"  {outcome.describe()}", file=out)
+        if path:
+            print(f"  artifact: {path} (repro fuzz --replay {path})", file=out)
+    if report.errors and not args.verbose:
+        for outcome, path in report.errors[:5]:
+            suffix = f" [{path}]" if path else ""
+            print(f"error: {outcome.describe()}{suffix}", file=out)
+        if len(report.errors) > 5:
+            print(f"... {len(report.errors) - 5} more errors", file=out)
+    return 0 if report.ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -289,6 +441,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_compare(args)
     if args.command == "inspect":
         return cmd_inspect(args)
+    if args.command == "fuzz":
+        return cmd_fuzz(args)
     raise AssertionError("unreachable")
 
 

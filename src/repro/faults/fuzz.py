@@ -1,0 +1,221 @@
+"""The ``repro fuzz`` backend: sample, run, shrink, persist.
+
+The fuzzer samples :class:`~repro.faults.harness.FuzzCase` triples
+(algorithm x workload x fault plan) from a seeded case space, runs each
+through :func:`~repro.faults.harness.run_case`, and turns every safety
+*violation* into a minimal replayable artifact via
+:func:`~repro.faults.harness.shrink_case`.
+
+Outcome taxonomy vs. exit status: crashes legitimately cause
+``non-termination`` (stragglers waiting on a dead neighbor -- the
+watchdog's job) and ``error`` (a multi-phase driver choking on a crashed
+vertex's missing phase output); neither indicates the survivors
+mis-coordinated.  Only ``violation`` -- a safety property broken on the
+surviving subgraph -- fails the fuzz run, because the engines guarantee
+that crash-stop faults never corrupt survivor-to-survivor communication.
+Errors are still counted, reported, and written as artifacts so they can
+be replayed, but they gate nothing.
+
+``--smoke`` is the CI configuration: a small seeded budget over a
+crash-only plan space and the full seed algorithm zoo, asserting zero
+violations.  Message-level faults (drop/duplicate/delay) are excluded
+there by design: the paper's algorithms assume reliable synchronous
+links, so a dropped message *can* legally produce an improper coloring --
+finding those is the full fuzzer's job, not a CI regression.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.faults.harness import (
+    OUTCOME_ERROR,
+    OUTCOME_NONTERMINATION,
+    OUTCOME_VALID,
+    OUTCOME_VIOLATION,
+    FaultOutcome,
+    FuzzCase,
+    run_case,
+    shrink_case,
+    write_artifact,
+    zoo,
+)
+from repro.faults.plan import CrashSpec, FaultPlan, MessageFaults
+
+#: workload families the fuzzer samples from (a representative slice of
+#: the bench registry: bounded arboricity, planar, Delta >> a, random)
+FUZZ_WORKLOADS: tuple[str, ...] = (
+    "forest_union_a2",
+    "forest_union_a3",
+    "planar_grid",
+    "tri_grid",
+    "caterpillar",
+    "star_forest",
+    "gnp_sparse",
+    "ring",
+    "deep_tree",
+)
+
+#: instance sizes for the full fuzzer / the CI smoke run
+FUZZ_NS: tuple[int, ...] = (24, 40, 60, 90, 140)
+SMOKE_NS: tuple[int, ...] = (16, 24, 40)
+
+
+def sample_plan(rng: random.Random, crash_only: bool = False) -> FaultPlan:
+    """Draw one fault plan from the seeded space.
+
+    Always includes a crash component (the empty plan is not worth a
+    fuzz slot); message faults join with probability 1/2 unless
+    ``crash_only``.
+    """
+    plan_seed = rng.randrange(2**31)
+    if rng.random() < 0.5:
+        crashes = CrashSpec(hazard=rng.choice((0.005, 0.01, 0.02, 0.05)))
+    else:
+        k = rng.randint(1, 4)
+        at = {
+            rng.randrange(200): rng.randint(1, 12)
+            for _ in range(k)
+        }
+        crashes = CrashSpec(at=at)
+    messages = None
+    if not crash_only and rng.random() < 0.5:
+        messages = MessageFaults(
+            drop=rng.choice((0.0, 0.01, 0.05)),
+            duplicate=rng.choice((0.0, 0.01, 0.05)),
+            delay=rng.choice((0.0, 0.01, 0.05)),
+        )
+        if not messages.active:
+            messages = None
+    return FaultPlan(seed=plan_seed, crashes=crashes, messages=messages)
+
+
+def sample_cases(
+    budget: int,
+    seed: int = 0,
+    algorithms: Sequence[str] | None = None,
+    workloads: Sequence[str] = FUZZ_WORKLOADS,
+    ns: Sequence[int] = FUZZ_NS,
+    crash_only: bool = False,
+) -> Iterable[FuzzCase]:
+    """Yield ``budget`` seeded cases (deterministic for a given seed)."""
+    rng = random.Random(seed)
+    algos = list(algorithms) if algorithms is not None else sorted(zoo())
+    for _ in range(budget):
+        yield FuzzCase(
+            algorithm=rng.choice(algos),
+            workload=rng.choice(list(workloads)),
+            n=rng.choice(list(ns)),
+            seed=rng.randrange(10_000),
+            plan=sample_plan(rng, crash_only=crash_only),
+        )
+
+
+@dataclass
+class FuzzReport:
+    """Aggregate of one fuzz run."""
+
+    outcomes: list[FaultOutcome] = field(default_factory=list)
+    violations: list[tuple[FaultOutcome, FuzzCase, str | None]] = field(
+        default_factory=list
+    )  # (shrunk outcome, original case, artifact path)
+    errors: list[tuple[FaultOutcome, str | None]] = field(default_factory=list)
+
+    def count(self, status: str) -> int:
+        return sum(1 for o in self.outcomes if o.status == status)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        return (
+            f"{len(self.outcomes)} cases: "
+            f"{self.count(OUTCOME_VALID)} valid, "
+            f"{self.count(OUTCOME_NONTERMINATION)} non-terminating, "
+            f"{self.count(OUTCOME_ERROR)} errors, "
+            f"{self.count(OUTCOME_VIOLATION)} VIOLATIONS"
+        )
+
+
+def _artifact_path(out_dir: str, outcome: FaultOutcome, idx: int) -> str:
+    c = outcome.case
+    tag = outcome.status.replace("-", "")[:5]
+    return os.path.join(
+        out_dir, f"{tag}-{idx:03d}-{c.algorithm}-{c.workload}-n{c.n}.json"
+    )
+
+
+def fuzz(
+    budget: int = 40,
+    seed: int = 0,
+    out_dir: str | None = None,
+    algorithms: Sequence[str] | None = None,
+    workloads: Sequence[str] = FUZZ_WORKLOADS,
+    ns: Sequence[int] = FUZZ_NS,
+    crash_only: bool = False,
+    shrink_budget: int = 40,
+    checks=None,
+    log=None,
+) -> FuzzReport:
+    """Run the fuzz loop; returns the full report.
+
+    Every violation is shrunk to a minimal reproduction; violations and
+    errors are written as replayable JSON artifacts under ``out_dir``
+    (created on first failure; no directory appears on a clean run).
+    """
+    report = FuzzReport()
+    artifact_idx = 0
+
+    def _persist(outcome: FaultOutcome, shrunk_from: FuzzCase | None) -> str | None:
+        nonlocal artifact_idx
+        if out_dir is None:
+            return None
+        os.makedirs(out_dir, exist_ok=True)
+        path = _artifact_path(out_dir, outcome, artifact_idx)
+        artifact_idx += 1
+        write_artifact(path, outcome, shrunk_from=shrunk_from)
+        return path
+
+    for case in sample_cases(
+        budget,
+        seed=seed,
+        algorithms=algorithms,
+        workloads=workloads,
+        ns=ns,
+        crash_only=crash_only,
+    ):
+        outcome = run_case(case, checks=checks)
+        report.outcomes.append(outcome)
+        if log is not None:
+            log(outcome.describe())
+        if outcome.status == OUTCOME_VIOLATION:
+            small, _spent = shrink_case(
+                case,
+                lambda c: run_case(c, checks=checks).status == OUTCOME_VIOLATION,
+                budget=shrink_budget,
+            )
+            small_outcome = run_case(small, checks=checks)
+            path = _persist(small_outcome, shrunk_from=case)
+            report.violations.append((small_outcome, case, path))
+        elif outcome.status == OUTCOME_ERROR:
+            path = _persist(outcome, shrunk_from=None)
+            report.errors.append((outcome, path))
+    return report
+
+
+def smoke(
+    budget: int = 30, seed: int = 0, out_dir: str | None = None, log=None
+) -> FuzzReport:
+    """The CI gate: crash-only plans over the whole zoo, zero violations."""
+    return fuzz(
+        budget=budget,
+        seed=seed,
+        out_dir=out_dir,
+        ns=SMOKE_NS,
+        crash_only=True,
+        log=log,
+    )

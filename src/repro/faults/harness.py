@@ -1,0 +1,439 @@
+"""The self-checking fault harness: run, classify, shrink, replay.
+
+One fuzz *case* is a seed triple -- ``(algorithm, workload, n, seed,
+FaultPlan)`` -- everything needed to rebuild the instance, the ID
+assignment and the adversary, so a case is a complete, replayable
+reproduction.  :func:`run_case` executes the driver under the plan and
+classifies the outcome:
+
+``valid``
+    The driver completed and the output satisfies the problem's *safety*
+    property restricted to the surviving (non-crashed) subgraph.
+``violation``
+    The safety check failed: the survivors silently mis-coordinated.
+``non-termination``
+    The :class:`~repro.runtime.network.RoundLimitExceeded` watchdog fired
+    -- typically stragglers waiting forever on a crashed neighbor.
+``error``
+    The driver raised anything else (e.g. a multi-phase composition that
+    cannot digest a crashed vertex's missing phase-1 output).
+
+Safety vs. liveness: a crash adversary legitimately destroys
+*completeness* (a maximal independent set cannot stay maximal around a
+dead vertex), so the harness checks only the safety half on the surviving
+subgraph -- proper coloring among survivors, independence, matching
+disjointness, the H-partition degree bound.  Survivor-to-survivor
+communication is untouched by a crash-only plan, which is why the seed
+algorithm zoo is expected to stay violation-free under it (the ``repro
+fuzz --smoke`` CI gate); message-level faults *can* break safety, and
+finding such cases is the fuzzer's purpose, not a harness bug.
+
+:func:`shrink_case` greedily minimises a failing case (smaller n, fewer
+fault components) while the failure reproduces, and
+:func:`write_artifact`/:func:`replay_artifact` round-trip the result
+through JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Mapping
+
+from repro.faults.plan import CrashSpec, FaultPlan, MessageFaults, session
+from repro.runtime.network import RoundLimitExceeded
+from repro.verify import VerificationError
+
+#: artifact schema version (bump on incompatible layout changes)
+ARTIFACT_SCHEMA = 1
+
+OUTCOME_VALID = "valid"
+OUTCOME_VIOLATION = "violation"
+OUTCOME_NONTERMINATION = "non-termination"
+OUTCOME_ERROR = "error"
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One replayable (algorithm x workload x fault plan) seed triple."""
+
+    algorithm: str
+    workload: str
+    n: int
+    seed: int
+    plan: FaultPlan = field(default_factory=FaultPlan)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "algorithm": self.algorithm,
+            "workload": self.workload,
+            "n": self.n,
+            "seed": self.seed,
+            "plan": self.plan.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, rec: Mapping[str, Any]) -> "FuzzCase":
+        return cls(
+            algorithm=rec["algorithm"],
+            workload=rec["workload"],
+            n=int(rec["n"]),
+            seed=int(rec["seed"]),
+            plan=FaultPlan.from_dict(rec.get("plan", {})),
+        )
+
+    def describe(self) -> str:
+        return (
+            f"{self.algorithm} on {self.workload} n={self.n} "
+            f"seed={self.seed} [{self.plan.describe()}]"
+        )
+
+
+@dataclass
+class FaultOutcome:
+    """What happened when one case ran."""
+
+    case: FuzzCase
+    status: str
+    detail: str = ""
+    crashed: tuple[int, ...] = ()
+    worst_rounds: int = 0
+
+    @property
+    def failed(self) -> bool:
+        """Violations and errors are fuzz failures; valid outputs and
+        watchdog-caught non-termination are expected fault responses."""
+        return self.status in (OUTCOME_VIOLATION, OUTCOME_ERROR)
+
+    def describe(self) -> str:
+        line = f"{self.status:15s} {self.case.describe()}"
+        if self.crashed:
+            line += f" crashed={list(self.crashed)}"
+        if self.detail and self.status != OUTCOME_VALID:
+            line += f"\n    {self.detail.splitlines()[0][:200]}"
+        return line
+
+
+# ---------------------------------------------------------------------------
+# survivor-subgraph safety checks
+# ---------------------------------------------------------------------------
+
+def _alive_of(g, crashed) -> set[int]:
+    return set(g.vertices()) - set(crashed)
+
+
+def _check_vertex_coloring(g, res, alive: set[int]) -> None:
+    colors = res.colors
+    for v in alive:
+        if v not in colors:
+            raise VerificationError(
+                f"surviving vertex {v} terminated without a color"
+            )
+    for u, v in g.edges():
+        if u in alive and v in alive and colors[u] == colors[v]:
+            raise VerificationError(
+                f"surviving neighbors {u} and {v} share color {colors[u]!r}"
+            )
+
+
+def _check_partition(g, res, alive: set[int]) -> None:
+    from repro.verify import assert_h_partition
+
+    for v in alive:
+        if v not in res.h_index:
+            raise VerificationError(
+                f"surviving vertex {v} terminated without an H-index"
+            )
+    assert_h_partition(g, res.h_index, res.A, subset=alive)
+
+
+def _check_mis(g, res, alive: set[int]) -> None:
+    mis = res.mis
+    for v in alive:
+        if v not in res.in_mis:
+            raise VerificationError(
+                f"surviving vertex {v} terminated without an MIS decision"
+            )
+    for u, v in g.edges():
+        if u in alive and v in alive and u in mis and v in mis:
+            raise VerificationError(
+                f"surviving MIS vertices {u} and {v} are adjacent"
+            )
+
+
+def _check_matching(g, res, alive: set[int]) -> None:
+    seen: dict[int, tuple[int, int]] = {}
+    for e in res.matching:
+        u, v = e
+        if not g.has_edge(u, v):
+            raise VerificationError(f"matching edge {e} is not in G")
+        for x in (u, v):
+            if x in alive and x in seen:
+                raise VerificationError(
+                    f"surviving vertex {x} is matched twice: {seen[x]} and {e}"
+                )
+            seen[x] = e
+
+
+def _check_edge_coloring(g, res, alive: set[int]) -> None:
+    from repro.graphs.graph import canonical_edge
+
+    ec = res.edge_colors
+    # adjacent survivor-survivor edges must have distinct colors
+    for v in alive:
+        by_color: dict[int, tuple[int, int]] = {}
+        for u in g.neighbors(v):
+            if u not in alive:
+                continue
+            e = canonical_edge(u, v)
+            c = ec.get(e)
+            if c is None:
+                raise VerificationError(f"surviving edge {e} has no color")
+            if c in by_color:
+                raise VerificationError(
+                    f"edges {by_color[c]} and {e} at surviving vertex {v} "
+                    f"share color {c}"
+                )
+            by_color[c] = e
+
+
+#: algorithm name -> (driver(g, a, ids, seed), survivor-safety check).
+#: Built lazily: importing the full algorithm stack at module load would
+#: create an import cycle (repro -> runtime -> faults).
+_ZOO: dict[str, tuple[Callable, Callable]] | None = None
+
+
+def zoo() -> dict[str, tuple[Callable, Callable]]:
+    """The seed algorithm zoo the fuzzer samples from."""
+    global _ZOO
+    if _ZOO is None:
+        import repro
+
+        _ZOO = {
+            "partition": (
+                lambda g, a, ids, s: repro.run_partition(g, a=a, ids=ids),
+                _check_partition,
+            ),
+            "a2logn": (
+                lambda g, a, ids, s: repro.run_a2logn_coloring(g, a=a, ids=ids),
+                _check_vertex_coloring,
+            ),
+            "a2": (
+                lambda g, a, ids, s: repro.run_a2_coloring(g, a=a, ids=ids),
+                _check_vertex_coloring,
+            ),
+            "oa": (
+                lambda g, a, ids, s: repro.run_oa_coloring(g, a=a, ids=ids),
+                _check_vertex_coloring,
+            ),
+            "ka": (
+                lambda g, a, ids, s: repro.run_ka_coloring(g, a=a, ids=ids),
+                _check_vertex_coloring,
+            ),
+            "delta-plus-one": (
+                lambda g, a, ids, s: repro.run_delta_plus_one_coloring(
+                    g, a=a, ids=ids
+                ),
+                _check_vertex_coloring,
+            ),
+            "mis": (
+                lambda g, a, ids, s: repro.run_mis(g, a=a, ids=ids),
+                _check_mis,
+            ),
+            "matching": (
+                lambda g, a, ids, s: repro.run_maximal_matching(g, a=a, ids=ids),
+                _check_matching,
+            ),
+            "edge-coloring": (
+                lambda g, a, ids, s: repro.run_edge_coloring(g, a=a, ids=ids),
+                _check_edge_coloring,
+            ),
+            "rand-delta-plus-one": (
+                lambda g, a, ids, s: repro.run_rand_delta_plus_one(
+                    g, ids=ids, seed=s
+                ),
+                _check_vertex_coloring,
+            ),
+        }
+    return _ZOO
+
+
+# ---------------------------------------------------------------------------
+# run + classify
+# ---------------------------------------------------------------------------
+
+def run_case(
+    case: FuzzCase,
+    checks: Mapping[str, Callable] | None = None,
+) -> FaultOutcome:
+    """Execute one case under its fault plan and classify the outcome.
+
+    ``checks`` optionally overrides the survivor-safety check per
+    algorithm name (the fuzz self-test injects a deliberately broken
+    verifier through it).
+    """
+    from repro.bench.workloads import make_workload
+    from repro.graphs import generators as gen
+
+    try:
+        driver, check = zoo()[case.algorithm]
+    except KeyError:
+        raise KeyError(
+            f"unknown algorithm {case.algorithm!r}; known: {sorted(zoo())}"
+        ) from None
+    if checks is not None and case.algorithm in checks:
+        check = checks[case.algorithm]
+
+    workload = make_workload(case.workload)
+    g, a = workload(case.n, seed=case.seed)
+    ids = gen.random_ids(g.n, seed=1000 + case.seed)
+
+    injector = case.plan.injector()
+    try:
+        with session(injector):
+            res = driver(g, a, ids, case.seed)
+    except RoundLimitExceeded as e:
+        return FaultOutcome(
+            case,
+            OUTCOME_NONTERMINATION,
+            detail=str(e),
+            crashed=tuple(sorted(injector.crashed)),
+        )
+    except Exception as e:  # noqa: BLE001 - classification is the point
+        return FaultOutcome(
+            case,
+            OUTCOME_ERROR,
+            detail=f"{type(e).__name__}: {e}",
+            crashed=tuple(sorted(injector.crashed)),
+        )
+
+    alive = _alive_of(g, injector.crashed)
+    try:
+        check(g, res, alive)
+    except VerificationError as e:
+        return FaultOutcome(
+            case,
+            OUTCOME_VIOLATION,
+            detail=str(e),
+            crashed=tuple(sorted(injector.crashed)),
+        )
+    return FaultOutcome(
+        case,
+        OUTCOME_VALID,
+        crashed=tuple(sorted(injector.crashed)),
+        worst_rounds=res.metrics.worst_case,
+    )
+
+
+# ---------------------------------------------------------------------------
+# shrinking
+# ---------------------------------------------------------------------------
+
+#: n values the shrinker steps down through (stops at the smallest that
+#: still reproduces)
+_N_LADDER = (8, 12, 16, 24, 32, 48, 64, 96, 128, 192, 256)
+
+
+def _shrink_candidates(case: FuzzCase) -> Iterator[FuzzCase]:
+    """Strictly-simpler variants of ``case``, most aggressive first."""
+    from dataclasses import replace
+
+    plan = case.plan
+    # 1. shrink the instance
+    for n in reversed([x for x in _N_LADDER if x < case.n]):
+        yield replace(case, n=n)
+    # 2. drop whole fault components
+    if plan.messages is not None and plan.messages.active:
+        yield replace(case, plan=replace(plan, messages=None))
+    if plan.crashes is not None and plan.crashes.active:
+        yield replace(case, plan=replace(plan, crashes=None))
+    # 3. simplify the crash spec
+    c = plan.crashes
+    if c is not None:
+        if c.hazard and c.at:
+            yield replace(case, plan=replace(plan, crashes=CrashSpec(at=c.at)))
+        if c.hazard:
+            yield replace(
+                case, plan=replace(plan, crashes=CrashSpec(at=c.at, hazard=c.hazard / 2))
+            )
+        for v in sorted(c.at):
+            rest = {u: r for u, r in c.at.items() if u != v}
+            yield replace(
+                case,
+                plan=replace(plan, crashes=CrashSpec(at=rest, hazard=c.hazard)),
+            )
+    # 4. simplify the message spec one channel at a time
+    m = plan.messages
+    if m is not None:
+        for name in ("drop", "duplicate", "delay"):
+            if getattr(m, name):
+                yield replace(
+                    case, plan=replace(plan, messages=replace(m, **{name: 0.0}))
+                )
+
+
+def shrink_case(
+    case: FuzzCase,
+    reproduces: Callable[[FuzzCase], bool],
+    budget: int = 60,
+) -> tuple[FuzzCase, int]:
+    """Greedily minimise ``case`` while ``reproduces`` stays true.
+
+    Returns ``(minimal case, attempts spent)``.  Greedy first-improvement
+    descent over :func:`_shrink_candidates`; each accepted candidate
+    restarts the scan, so the result is a local minimum under the moves
+    (smaller n always tried first).
+    """
+    spent = 0
+    improved = True
+    while improved and spent < budget:
+        improved = False
+        for cand in _shrink_candidates(case):
+            spent += 1
+            if reproduces(cand):
+                case = cand
+                improved = True
+                break
+            if spent >= budget:
+                break
+    return case, spent
+
+
+# ---------------------------------------------------------------------------
+# artifacts
+# ---------------------------------------------------------------------------
+
+def write_artifact(path: str, outcome: FaultOutcome, shrunk_from: FuzzCase | None = None) -> None:
+    """Persist a failing case as a replayable JSON artifact."""
+    rec: dict[str, Any] = {
+        "schema": ARTIFACT_SCHEMA,
+        "case": outcome.case.to_dict(),
+        "status": outcome.status,
+        "detail": outcome.detail,
+        "crashed": list(outcome.crashed),
+    }
+    if shrunk_from is not None:
+        rec["shrunk_from"] = shrunk_from.to_dict()
+    with open(path, "w") as fh:
+        json.dump(rec, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_artifact(path: str) -> tuple[FuzzCase, dict[str, Any]]:
+    """Read an artifact back: ``(case, full record)``."""
+    with open(path) as fh:
+        rec = json.load(fh)
+    if rec.get("schema") != ARTIFACT_SCHEMA:
+        raise ValueError(
+            f"artifact schema {rec.get('schema')!r} unsupported "
+            f"(expected {ARTIFACT_SCHEMA})"
+        )
+    return FuzzCase.from_dict(rec["case"]), rec
+
+
+def replay_artifact(
+    path: str, checks: Mapping[str, Callable] | None = None
+) -> FaultOutcome:
+    """Re-run the case stored in an artifact and return the fresh outcome."""
+    case, _rec = load_artifact(path)
+    return run_case(case, checks=checks)

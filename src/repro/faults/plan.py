@@ -1,0 +1,386 @@
+"""Seeded, deterministic fault adversaries for the round engines.
+
+The paper's vertex-averaged measure is a statement about graceful
+degradation -- most vertices finish in O(1) rounds even when a few
+stragglers run long -- and a fault adversary is the natural way to probe
+it: crash-stop a few vertices, or drop/duplicate/delay messages, and ask
+how the per-vertex termination behavior (the quantity Feuilloley [12] and
+Balliu et al. study per node) responds.
+
+The model
+---------
+* **Crash-stop** (:class:`CrashSpec`): a crashed vertex performs no
+  computation from its crash round onward.  Unlike graceful termination it
+  announces *nothing*: neighbors never see it in ``ctx.halted``, keep
+  broadcasting to it, and may wait on it forever (which the engines'
+  watchdog converts into a typed
+  :class:`~repro.runtime.network.RoundLimitExceeded`).  Crashes are
+  scheduled explicitly (``at``: vertex -> round) or drawn per active
+  vertex per round with probability ``hazard``.
+* **Message faults** (:class:`MessageFaults`): each routed copy is
+  independently dropped, duplicated (one extra copy, delivered normally),
+  or delayed by 1..``max_delay`` extra rounds.  Message faults apply to
+  explicit ``ctx.send``/``broadcast`` traffic only; halt notices are part
+  of the termination semantics and are never perturbed.
+
+Determinism
+-----------
+Every fault decision is a pure function of ``(plan.seed, round, vertex)``
+or ``(plan.seed, round, src, dst, k)`` -- counter-based draws via
+dedicated ``random.Random`` instances, never shared-stream state -- so the
+same plan produces bit-identical injections regardless of the order in
+which the engine evaluates them.  That is what lets the fast and the
+reference engine replay the *same* faulted execution (enforced by
+``tests/runtime/test_fault_equivalence.py``).
+
+The injector boundary
+---------------------
+A :class:`FaultPlan` compiles into a :class:`FaultInjector`, the single
+hook both engines drive at the deliver/route boundary:
+
+* ``begin_run(emit)`` -- a new engine execution starts: in-flight delayed
+  messages are discarded, already-crashed vertices (from earlier runs in
+  the same session: crash-stop persists across algorithm phases) are
+  reported so the engine removes them before round 1;
+* ``on_round(rnd, active)`` -- the round begins: returns the vertices to
+  crash now and the delayed messages due for delivery this round;
+* ``fate(rnd, src, dst)`` -- called per routed copy from
+  :meth:`repro.runtime.context.Context.send`/``broadcast`` (shared by
+  both engines): returns the extra-delay values of the copies to route.
+
+Each injection emits a typed ``fault_*`` event on the run's
+:class:`~repro.obs.events.EventBus`, so traces and ``repro inspect`` show
+exactly what was injected.  An injector is stateful (crashed set, delay
+buffer): never share one between two engine runs you want to compare --
+pass the *plan* and let each run compile its own.
+"""
+
+from __future__ import annotations
+
+import random
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping
+
+from repro.obs.events import FaultCrash, FaultDelay, FaultDrop, FaultDup
+
+
+@dataclass(frozen=True)
+class CrashSpec:
+    """Crash-stop schedule: explicit per-vertex rounds plus a hazard rate.
+
+    ``at`` maps vertex -> earliest round at which it crashes (it crashes
+    in the first round >= that in which it is still active).  ``hazard``
+    is an independent per-active-vertex, per-round crash probability.
+    """
+
+    at: Mapping[int, int] = field(default_factory=dict)
+    hazard: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.hazard <= 1.0:
+            raise ValueError(f"hazard must be a probability, got {self.hazard}")
+        for v, r in self.at.items():
+            if r < 1:
+                raise ValueError(f"crash round for vertex {v} must be >= 1, got {r}")
+
+    @property
+    def active(self) -> bool:
+        return bool(self.at) or self.hazard > 0.0
+
+    def strikes(self, seed: int, rnd: int, v: int) -> bool:
+        """Does vertex ``v`` (still active) crash in round ``rnd``?"""
+        at = self.at.get(v)
+        if at is not None and rnd >= at:
+            return True
+        if self.hazard:
+            return random.Random(f"{seed}:crash:{rnd}:{v}").random() < self.hazard
+        return False
+
+
+@dataclass(frozen=True)
+class MessageFaults:
+    """Per-copy network misbehavior probabilities.
+
+    ``drop``, ``duplicate`` and ``delay`` are independent probabilities;
+    a delayed copy arrives 1..``max_delay`` rounds later than normal, a
+    duplicated copy adds one extra normally-delivered copy (even when the
+    original was delayed).
+    """
+
+    drop: float = 0.0
+    duplicate: float = 0.0
+    delay: float = 0.0
+    max_delay: int = 3
+
+    def __post_init__(self) -> None:
+        for name in ("drop", "duplicate", "delay"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {p}")
+        if self.max_delay < 1:
+            raise ValueError(f"max_delay must be >= 1, got {self.max_delay}")
+
+    @property
+    def active(self) -> bool:
+        return bool(self.drop or self.duplicate or self.delay)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A composable, seeded description of what the adversary does.
+
+    The plan is pure data: it serialises losslessly via
+    :meth:`to_dict`/:meth:`from_dict` (the fuzz artifacts), and compiles
+    into a fresh stateful :class:`FaultInjector` per run/session via
+    :meth:`injector`.
+    """
+
+    seed: int = 0
+    crashes: CrashSpec | None = None
+    messages: MessageFaults | None = None
+
+    @property
+    def empty(self) -> bool:
+        """True when the plan injects nothing (the null adversary)."""
+        return not (
+            (self.crashes is not None and self.crashes.active)
+            or (self.messages is not None and self.messages.active)
+        )
+
+    def injector(self) -> "FaultInjector":
+        return FaultInjector(self)
+
+    # -- serialisation (fuzz artifacts) --------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        rec: dict[str, Any] = {"seed": self.seed}
+        if self.crashes is not None:
+            rec["crashes"] = {
+                "at": {str(v): r for v, r in sorted(self.crashes.at.items())},
+                "hazard": self.crashes.hazard,
+            }
+        if self.messages is not None:
+            m = self.messages
+            rec["messages"] = {
+                "drop": m.drop,
+                "duplicate": m.duplicate,
+                "delay": m.delay,
+                "max_delay": m.max_delay,
+            }
+        return rec
+
+    @classmethod
+    def from_dict(cls, rec: Mapping[str, Any]) -> "FaultPlan":
+        crashes = None
+        if rec.get("crashes") is not None:
+            c = rec["crashes"]
+            crashes = CrashSpec(
+                at={int(v): int(r) for v, r in c.get("at", {}).items()},
+                hazard=float(c.get("hazard", 0.0)),
+            )
+        messages = None
+        if rec.get("messages") is not None:
+            m = rec["messages"]
+            messages = MessageFaults(
+                drop=float(m.get("drop", 0.0)),
+                duplicate=float(m.get("duplicate", 0.0)),
+                delay=float(m.get("delay", 0.0)),
+                max_delay=int(m.get("max_delay", 3)),
+            )
+        return cls(seed=int(rec.get("seed", 0)), crashes=crashes, messages=messages)
+
+    def describe(self) -> str:
+        parts = [f"seed={self.seed}"]
+        if self.crashes is not None and self.crashes.active:
+            c = self.crashes
+            if c.at:
+                parts.append(
+                    "crash@{" + ", ".join(f"{v}:r{r}" for v, r in sorted(c.at.items())) + "}"
+                )
+            if c.hazard:
+                parts.append(f"hazard={c.hazard:g}")
+        if self.messages is not None and self.messages.active:
+            m = self.messages
+            parts.append(
+                f"drop={m.drop:g} dup={m.duplicate:g} "
+                f"delay={m.delay:g}(<= {m.max_delay})"
+            )
+        if len(parts) == 1:
+            parts.append("no faults")
+        return " ".join(parts)
+
+
+class FaultInjector:
+    """Compiled, stateful adversary: the hook both engines drive.
+
+    State spans a *session*: the round counter and the crashed set persist
+    across consecutive engine runs (multi-phase algorithm drivers), so a
+    vertex crashed in phase 1 stays crashed in phase 2.  Rounds named in
+    the plan refer to this session-wide counter; for a single engine run
+    it coincides with the engine's round number.
+    """
+
+    __slots__ = (
+        "plan",
+        "crashed",
+        "messages_active",
+        "_round",
+        "_held",
+        "_pair_k",
+        "_delayed_sent",
+        "_emit",
+    )
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        #: vertices crashed so far in this session (monotone)
+        self.crashed: set[int] = set()
+        self.messages_active = plan.messages is not None and plan.messages.active
+        self._round = 0
+        #: session round -> [(src, dst, payload)] delayed copies due then
+        self._held: dict[int, list[tuple[int, int, Any]]] = {}
+        #: per-round (src, dst) -> next copy index, for counter-based draws
+        self._pair_k: dict[tuple[int, int], int] = {}
+        #: delayed copies sent (held) this round, for traffic accounting
+        self._delayed_sent = 0
+        self._emit = None
+
+    # -- engine boundary ------------------------------------------------
+    def begin_run(self, emit) -> frozenset[int]:
+        """A new engine execution starts.
+
+        In-flight delayed messages die with the previous network; the
+        returned set is the vertices already crashed in earlier runs of
+        this session, which the engine removes before round 1.
+        """
+        self._held.clear()
+        self._pair_k.clear()
+        self._delayed_sent = 0
+        self._emit = emit
+        return frozenset(self.crashed)
+
+    def on_round(
+        self, rnd: int, active: list[int]
+    ) -> tuple[list[int], list[tuple[int, int, Any]]]:
+        """The deliver boundary of one round.
+
+        Advances the session round counter and returns ``(crashes, due)``:
+        the still-active vertices that crash *now* (they perform no
+        computation this round) and the delayed ``(src, dst, payload)``
+        copies whose delivery round has arrived (already filtered of
+        crashed receivers; the engine filters terminated ones).
+        """
+        self._round += 1
+        srnd = self._round
+        self._pair_k.clear()
+        self._delayed_sent = 0
+        crashes: list[int] = []
+        spec = self.plan.crashes
+        if spec is not None and spec.active:
+            seed = self.plan.seed
+            emit = self._emit
+            for v in active:
+                if spec.strikes(seed, srnd, v):
+                    crashes.append(v)
+                    self.crashed.add(v)
+                    if emit is not None:
+                        emit(FaultCrash(rnd, v))
+        due = self._held.pop(srnd, None)
+        if not due:
+            return crashes, []
+        if self.crashed:
+            due = [(s, d, p) for (s, d, p) in due if d not in self.crashed]
+        return crashes, due
+
+    def take_delayed_count(self) -> int:
+        """Copies held for later delivery this round (they left their
+        senders, so they count as this round's traffic)."""
+        return self._delayed_sent
+
+    # -- route boundary (driven from Context.send/broadcast) ------------
+    def fate(self, rnd: int, src: int, dst: int) -> tuple[int, ...]:
+        """Decide what happens to one routed copy.
+
+        Returns the extra-delay values of the copies to route: ``(0,)``
+        is normal delivery, ``()`` a drop, ``(d,)`` a delay by ``d``
+        extra rounds, ``(0, 0)``/``(d, 0)`` a duplication.  Pure function
+        of ``(plan.seed, session round, src, dst, copy index)``.
+        """
+        mf = self.plan.messages
+        key = (src, dst)
+        k = self._pair_k.get(key, 0)
+        self._pair_k[key] = k + 1
+        rng = random.Random(f"{self.plan.seed}:msg:{self._round}:{src}:{dst}:{k}")
+        emit = self._emit
+        if mf.drop and rng.random() < mf.drop:
+            if emit is not None:
+                emit(FaultDrop(rnd, src, dst))
+            return ()
+        fates: tuple[int, ...] = (0,)
+        if mf.delay and rng.random() < mf.delay:
+            d = 1 + rng.randrange(mf.max_delay)
+            fates = (d,)
+            if emit is not None:
+                emit(FaultDelay(rnd, src, dst, d))
+        if mf.duplicate and rng.random() < mf.duplicate:
+            fates = fates + (0,)
+            if emit is not None:
+                emit(FaultDup(rnd, src, dst))
+        return fates
+
+    def hold(self, extra: int, src: int, dst: int, payload: Any) -> None:
+        """Buffer a delayed copy for delivery ``extra`` rounds late."""
+        self._held.setdefault(self._round + 1 + extra, []).append(
+            (src, dst, payload)
+        )
+        self._delayed_sent += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FaultInjector({self.plan.describe()}, round={self._round}, "
+            f"crashed={sorted(self.crashed)})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# process-wide default injector (mirrors repro.obs.install / session)
+# ---------------------------------------------------------------------------
+
+#: the default injector the engines fall back to (usually None).  Needed
+#: because algorithm drivers construct their networks internally, exactly
+#: like the default EventBus in :mod:`repro.obs`.
+_default_injector: FaultInjector | None = None
+
+
+def install(injector: FaultInjector | None) -> FaultInjector | None:
+    """Set the default injector; returns the previous one (for restoring)."""
+    global _default_injector
+    previous = _default_injector
+    _default_injector = injector
+    return previous
+
+
+def current() -> FaultInjector | None:
+    """The currently-installed default injector, if any."""
+    return _default_injector
+
+
+@contextmanager
+def session(plan_or_injector: FaultPlan | FaultInjector) -> Iterator[FaultInjector]:
+    """Install a fault adversary for every engine run in the ``with`` body.
+
+    Accepts a :class:`FaultPlan` (compiled into a fresh injector) or an
+    existing :class:`FaultInjector`.  Crash-stop state persists across
+    the runs inside one session -- that is the point: multi-phase drivers
+    see a consistent adversary.
+    """
+    injector = (
+        plan_or_injector.injector()
+        if isinstance(plan_or_injector, FaultPlan)
+        else plan_or_injector
+    )
+    previous = install(injector)
+    try:
+        yield injector
+    finally:
+        install(previous)

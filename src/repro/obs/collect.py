@@ -55,6 +55,14 @@ class MetricsCollector(Sink):
         self.termination_round: dict[int, int] = {}
         #: vertex -> commit round (Feuilloley's first definition)
         self.commit_round: dict[int, int] = {}
+        #: adversary-crashed vertices per round (``fault_crash``)
+        self.crashes: list[list[int]] = []
+        #: vertex -> round the adversary crashed it
+        self.crash_round: dict[int, int] = {}
+        #: per-round injected message faults: drops / duplications / delays
+        self.fault_drops: list[int] = []
+        self.fault_dups: list[int] = []
+        self.fault_delays: list[int] = []
 
     # ------------------------------------------------------------------
     # sink interface
@@ -89,6 +97,20 @@ class MetricsCollector(Sink):
             self.delivered[rnd - 1] = event.msgs
             _grow(self.receivers, rnd)
             self.receivers[rnd - 1] = event.receivers
+        elif kind == "fault_crash":
+            while len(self.crashes) < rnd:
+                self.crashes.append([])
+            self.crashes[rnd - 1].append(event.v)
+            self.crash_round[event.v] = rnd
+        elif kind == "fault_drop":
+            _grow(self.fault_drops, rnd)
+            self.fault_drops[rnd - 1] += 1
+        elif kind == "fault_dup":
+            _grow(self.fault_dups, rnd)
+            self.fault_dups[rnd - 1] += 1
+        elif kind == "fault_delay":
+            _grow(self.fault_delays, rnd)
+            self.fault_delays[rnd - 1] += 1
 
     def replay(self, events: Iterable[Event]) -> "MetricsCollector":
         """Feed an iterable of events through the collector; returns self."""
@@ -191,11 +213,41 @@ class MetricsCollector(Sink):
         return out
 
     # ------------------------------------------------------------------
+    # injected faults (the repro.faults adversary)
+    # ------------------------------------------------------------------
+    @property
+    def faulted(self) -> bool:
+        """True when the trace contains any adversary activity."""
+        return bool(
+            self.crash_round
+            or any(self.fault_drops)
+            or any(self.fault_dups)
+            or any(self.fault_delays)
+        )
+
+    def total_crashed(self) -> int:
+        return len(self.crash_round)
+
+    def fault_summary(self) -> str:
+        """One-line digest of the injected faults (empty if none)."""
+        if not self.faulted:
+            return ""
+        return (
+            f"crashed={self.total_crashed()} "
+            f"msg-drops={sum(self.fault_drops)} "
+            f"msg-dups={sum(self.fault_dups)} "
+            f"msg-delays={sum(self.fault_delays)}"
+        )
+
+    # ------------------------------------------------------------------
     def summary(self) -> str:
         """One-line digest mirroring ``RoundMetrics.summary``."""
-        return (
+        line = (
             f"n={self.n} rounds={self.rounds} "
             f"avg={self.vertex_averaged():.3f} worst={self.worst_case()} "
             f"sent={self.total_sent()} delivered={self.total_delivered()} "
             f"dropped={self.total_dropped()}"
         )
+        if self.faulted:
+            line += f" | faults: {self.fault_summary()}"
+        return line

@@ -117,10 +117,62 @@ class Drop(Event):
     msgs: int
 
 
+@dataclass(frozen=True, slots=True)
+class FaultCrash(Event):
+    """The adversary crash-stopped vertex ``v`` at the start of this
+    round: it performs no further computation and announces nothing
+    (:mod:`repro.faults`)."""
+
+    kind: ClassVar[str] = "fault_crash"
+    v: int
+
+
+@dataclass(frozen=True, slots=True)
+class FaultDrop(Event):
+    """The adversary dropped one copy routed from ``src`` to ``dst``."""
+
+    kind: ClassVar[str] = "fault_drop"
+    src: int
+    dst: int
+
+
+@dataclass(frozen=True, slots=True)
+class FaultDup(Event):
+    """The adversary duplicated one copy from ``src`` to ``dst`` (one
+    extra copy delivered alongside the original)."""
+
+    kind: ClassVar[str] = "fault_dup"
+    src: int
+    dst: int
+
+
+@dataclass(frozen=True, slots=True)
+class FaultDelay(Event):
+    """The adversary delayed one copy from ``src`` to ``dst`` by
+    ``delay`` extra rounds beyond the normal next-round delivery."""
+
+    kind: ClassVar[str] = "fault_delay"
+    src: int
+    dst: int
+    delay: int
+
+
 #: kind string -> event class, for deserialisation
 EVENT_TYPES: dict[str, type[Event]] = {
     cls.kind: cls
-    for cls in (RoundStart, RoundEnd, Send, Broadcast, Commit, Halt, Drop)
+    for cls in (
+        RoundStart,
+        RoundEnd,
+        Send,
+        Broadcast,
+        Commit,
+        Halt,
+        Drop,
+        FaultCrash,
+        FaultDrop,
+        FaultDup,
+        FaultDelay,
+    )
 }
 
 

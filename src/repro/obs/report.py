@@ -31,19 +31,34 @@ def load_records(path: str) -> tuple[dict[str, Any], list[dict[str, Any]]]:
 
     Blank lines are skipped; the first ``meta`` record becomes the header
     (an empty dict if the file has none, e.g. a hand-built trace).
+
+    A *torn final line* -- the signature of a writer killed mid-``write``
+    (:class:`~repro.obs.sinks.JsonlSink` flushes per batch, so only the
+    last line can be incomplete) -- is tolerated: the partial record is
+    discarded and ``meta["_truncated"]`` is set ``True`` so downstream
+    renderers can flag the trace as salvaged.  Malformed JSON anywhere
+    *before* the final line is real corruption and still raises.
     """
     meta: dict[str, Any] = {}
     records: list[dict[str, Any]] = []
     with open(path) as fh:
-        for line in fh:
-            line = line.strip()
-            if not line:
-                continue
+        lines = [ln.strip() for ln in fh]
+    lines = [(i, ln) for i, ln in enumerate(lines, start=1) if ln]
+    for pos, (lineno, line) in enumerate(lines):
+        try:
             rec = json.loads(line)
-            if rec.get("ev") == "meta" and not meta:
-                meta = rec
-            else:
-                records.append(rec)
+        except json.JSONDecodeError:
+            if pos == len(lines) - 1:
+                meta["_truncated"] = True
+                break
+            raise ValueError(
+                f"{path}:{lineno}: corrupt trace record (not the final "
+                f"line, so not a torn write): {line[:80]!r}"
+            ) from None
+        if rec.get("ev") == "meta" and not meta:
+            meta = rec
+        else:
+            records.append(rec)
     return meta, records
 
 
@@ -103,9 +118,12 @@ class RunReport:
         return max(self.collectors, key=lambda c: (c.n, c.rounds))
 
     def describe_meta(self) -> str:
-        skip = {"ev", "schema"}
+        skip = {"ev", "schema", "_truncated"}
         pairs = [f"{k}={v}" for k, v in self.meta.items() if k not in skip]
-        return " ".join(pairs) if pairs else "(no metadata)"
+        text = " ".join(pairs) if pairs else "(no metadata)"
+        if self.meta.get("_truncated"):
+            text += " (TRUNCATED: torn final line discarded)"
+        return text
 
 
 # ---------------------------------------------------------------------------
@@ -133,6 +151,20 @@ def narrative(col: MetricsCollector, limit: int = 50) -> str:
         terminated = col.terminated[i] if i < len(col.terminated) else []
         if terminated:
             parts.append(f"{len(terminated)} terminated")
+        crashes = col.crashes[i] if i < len(col.crashes) else []
+        if crashes:
+            shown = ",".join(f"v{v}" for v in crashes[:6])
+            more = f"+{len(crashes) - 6}" if len(crashes) > 6 else ""
+            parts.append(f"CRASH {shown}{more}")
+        fdrop = col.fault_drops[i] if i < len(col.fault_drops) else 0
+        if fdrop:
+            parts.append(f"{fdrop} msg-dropped")
+        fdup = col.fault_dups[i] if i < len(col.fault_dups) else 0
+        if fdup:
+            parts.append(f"{fdup} msg-duplicated")
+        fdelay = col.fault_delays[i] if i < len(col.fault_delays) else 0
+        if fdelay:
+            parts.append(f"{fdelay} msg-delayed")
         if len(parts) == 2:
             parts.append("idle")
         lines.append(" ".join(parts))

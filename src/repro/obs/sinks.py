@@ -12,7 +12,12 @@ Three built-ins cover the observability spectrum:
 * :class:`JsonlSink` -- streams ``Event.to_record()`` dicts as JSON
   lines, prefixed with one ``{"ev": "meta", ...}`` header recording the
   schema version and caller-supplied run metadata.  The files it writes
-  are what ``repro inspect`` loads.
+  are what ``repro inspect`` loads.  The sink is crash-safe: it flushes
+  the header immediately and then every :data:`JsonlSink.FLUSH_EVERY`
+  events, so a run killed mid-write (OOM, SIGKILL, power loss) leaves a
+  trace whose loss is bounded to the last partial batch -- and at most
+  the final line of the file can be torn, which
+  :func:`repro.obs.report.load_records` tolerates.
 
 The aggregating sink lives in :mod:`repro.obs.collect`
 (:class:`~repro.obs.collect.MetricsCollector`) and the trace-building
@@ -91,28 +96,42 @@ class JsonlSink(Sink):
         workload, n and seed -- ``repro inspect`` prints them back.
     """
 
+    #: events per flush batch.  Small enough that a killed run loses at
+    #: most a batch of trailing events, large enough that the flush cost
+    #: stays invisible next to JSON encoding.
+    FLUSH_EVERY = 64
+
     def __init__(self, path_or_fh: str | IO[str], meta: dict[str, Any] | None = None) -> None:
         if isinstance(path_or_fh, str):
-            self._fh: IO[str] = open(path_or_fh, "w")
+            self._fh: IO[str] | None = open(path_or_fh, "w")
             self._owns = True
         else:
             self._fh = path_or_fh
             self._owns = False
+        self._pending = 0
         header: dict[str, Any] = {"ev": "meta", "schema": SCHEMA_VERSION}
         if meta:
             header.update(meta)
+        # The header flushes immediately: even a trace killed in round 1
+        # identifies its run.
         self._write(header)
+        self._fh.flush()
 
     def _write(self, rec: dict[str, Any]) -> None:
         self._fh.write(json.dumps(rec, separators=(",", ":")) + "\n")
 
     def emit(self, event: Event) -> None:
         self._write(event.to_record())
+        self._pending += 1
+        if self._pending >= self.FLUSH_EVERY:
+            self._fh.flush()
+            self._pending = 0
 
     def close(self) -> None:
+        """Flush and release the handle; safe to call repeatedly."""
         if self._fh is None:
             return
-        self._fh.flush()
+        fh, self._fh = self._fh, None
+        fh.flush()
         if self._owns:
-            self._fh.close()
-        self._fh = None  # type: ignore[assignment]
+            fh.close()

@@ -13,7 +13,13 @@ communication round (see :mod:`repro.runtime.program`).
 """
 
 from repro.runtime.context import Context, RouterState
-from repro.runtime.network import RunResult, SyncNetwork
+from repro.runtime.network import (
+    MaxRoundsExceeded,
+    RoundLimitExceeded,
+    RunResult,
+    SyncNetwork,
+    default_max_rounds,
+)
 from repro.runtime.metrics import RoundMetrics
 from repro.runtime.program import wait_rounds, wait_until_round
 from repro.runtime.reference import ReferenceSyncNetwork
@@ -21,13 +27,16 @@ from repro.runtime.trace import Trace, TraceRecorder
 
 __all__ = [
     "Context",
+    "MaxRoundsExceeded",
     "ReferenceSyncNetwork",
+    "RoundLimitExceeded",
     "RoundMetrics",
     "RouterState",
     "RunResult",
     "SyncNetwork",
     "Trace",
     "TraceRecorder",
+    "default_max_rounds",
     "wait_rounds",
     "wait_until_round",
 ]

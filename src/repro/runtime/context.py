@@ -90,6 +90,7 @@ class Context:
         "_act_pos",
         "_sent_round",
         "_bus",
+        "_faults",
     )
 
     def __init__(
@@ -134,6 +135,9 @@ class Context:
         #: the engine wires an active EventBus here; None (the default)
         #: keeps send/broadcast/commit entirely event-free
         self._bus = None
+        #: the engine wires a FaultInjector with active message faults
+        #: here; None (the default) keeps routing entirely fault-free
+        self._faults = None
 
     # ------------------------------------------------------------------
     @property
@@ -228,6 +232,13 @@ class Context:
             )
         if u in self._halted_set:
             return
+        b = self._bus
+        if b is not None:
+            b.emit(_SendEvent(self._round, self.v, u))
+        fi = self._faults
+        if fi is not None:
+            self._route_faulted(u, payload, fi)
+            return
         rt = self._router
         if rt is None:
             self._outgoing.append((u, payload))
@@ -238,16 +249,56 @@ class Context:
             slot.append((self.v, payload))
             rt.msgs += 1
         self._sent_round += 1
-        b = self._bus
-        if b is not None:
-            b.emit(_SendEvent(self._round, self.v, u))
 
     def send_many(self, targets: Iterable[int], payload: Any) -> None:
         for u in targets:
             self.send(u, payload)
 
+    def _route_faulted(self, u: int, payload: Any, fi) -> None:
+        """Route one logical message to ``u`` through the fault adversary.
+
+        The injector decides the copies (normal, dropped, duplicated,
+        delayed); normal copies take the regular wired/unwired path,
+        delayed ones go to the injector's hold buffer.  Shared by both
+        engines -- this is the route half of the single injection hook.
+        """
+        for d in fi.fate(self._round, self.v, u):
+            if d:
+                fi.hold(d, self.v, u, payload)
+                self._sent_round += 1
+                continue
+            rt = self._router
+            if rt is None:
+                self._outgoing.append((u, payload))
+            else:
+                slot = rt.slots_next[u]
+                if not slot:
+                    rt.dirty.append(u)
+                slot.append((self.v, payload))
+                rt.msgs += 1
+            self._sent_round += 1
+
     def broadcast(self, payload: Any) -> None:
         """Send ``payload`` to every active neighbor."""
+        fi = self._faults
+        if fi is not None:
+            # Canonical neighbor order in BOTH routing regimes: the wired
+            # ``_act`` list is reordered by swap-removal, and the fault
+            # adversary's event stream and delay-buffer order must not
+            # depend on that bookkeeping order (the engines' faulted
+            # executions are compared event-for-event).
+            halted = self._halted_set
+            targets = [u for u in self.neighbors if u not in halted]
+            if not targets:
+                return
+            b = self._bus
+            if b is not None:
+                # the broadcast *intent*: per-copy deviations are narrated
+                # by the injector's fault_* events
+                b.emit(_BroadcastEvent(self._round, self.v, len(targets)))
+            for u in targets:
+                self._route_faulted(u, payload, fi)
+            return
         rt = self._router
         if rt is None:
             halted = self._halted_set

@@ -89,6 +89,10 @@ class RunResult:
     #: termination round unless the program called ``ctx.commit`` earlier
     #: (Feuilloley's first definition, paper Section 2).
     output_rounds: tuple[int, ...] = ()
+    #: vertices crash-stopped by a fault adversary (:mod:`repro.faults`);
+    #: they have no entry in ``outputs`` and their ``metrics.rounds`` value
+    #: is the number of rounds they were active before crashing.
+    crashed: tuple[int, ...] = ()
 
     @property
     def vertex_averaged(self) -> float:
@@ -107,6 +111,48 @@ class RunResult:
 class MaxRoundsExceeded(RuntimeError):
     """Raised when an execution fails to terminate within the round budget
     (a liveness bug or an unlucky randomized run)."""
+
+
+class RoundLimitExceeded(MaxRoundsExceeded):
+    """The typed watchdog error: the round budget ran out with vertices
+    still active.
+
+    Beyond the message, it carries a machine-readable snapshot for the
+    fault harness and for debugging: the budget, the still-active
+    vertices, and a per-vertex state summary ``(vertex, rounds run,
+    active neighbors, halted neighbors, committed?)`` -- enough to see,
+    e.g., that every straggler borders a crashed vertex it is waiting on.
+    """
+
+    #: vertices listed by name in the message before eliding the rest
+    _SHOWN = 12
+
+    def __init__(self, limit: int, active: Sequence[int], contexts: Sequence[Context]) -> None:
+        self.limit = limit
+        self.active = tuple(active)
+        self.summaries = tuple(
+            (
+                v,
+                contexts[v].round,
+                contexts[v].active_degree(),
+                len(contexts[v].halted),
+                contexts[v].committed,
+            )
+            for v in self.active
+        )
+        shown = ", ".join(
+            f"v{v} (round {r}, {ad} active / {h} halted nbrs"
+            + (", committed)" if c else ")")
+            for v, r, ad, h, c in self.summaries[: self._SHOWN]
+        )
+        more = (
+            "" if len(self.active) <= self._SHOWN
+            else f", ... {len(self.active) - self._SHOWN} more"
+        )
+        super().__init__(
+            f"{len(self.active)} vertices still active after {limit} "
+            f"rounds: {shown}{more}"
+        )
 
 
 def default_max_rounds(n: int) -> int:
@@ -208,18 +254,44 @@ class SyncNetwork:
                 ctx._bus = bus
         return emit, bus.profiler
 
+    @staticmethod
+    def _resolve_faults(faults):
+        """Resolve the fault adversary for one run: a live injector or None.
+
+        ``faults=None`` falls back to the process-wide default installed
+        via :func:`repro.faults.session` (usually absent); a
+        :class:`~repro.faults.FaultPlan` compiles into a fresh injector
+        (so every run replays the plan from round 1); an injector is used
+        as-is (its crash/round state persists across runs -- the session
+        semantics multi-phase drivers need).
+        """
+        if faults is None:
+            from repro.faults.plan import current
+
+            return current()
+        from repro.faults.plan import FaultPlan
+
+        if isinstance(faults, FaultPlan):
+            return None if faults.empty else faults.injector()
+        return faults
+
     def run(
         self,
         program: ProgramFactory,
         max_rounds: int | None = None,
         collect_messages: bool = True,
         bus=None,
+        faults=None,
     ) -> RunResult:
         """Execute ``program`` on every vertex until all terminate.
 
         ``bus`` optionally attaches a :class:`repro.obs.EventBus`; when
         omitted the process-wide default (``repro.obs.install``) is used,
         and when neither exists the run is entirely uninstrumented.
+        ``faults`` optionally attaches a fault adversary
+        (:class:`repro.faults.FaultPlan` or a live injector); when omitted
+        the process-wide default (``repro.faults.session``) is used, and
+        when neither exists the run is entirely fault-free.
         """
         g = self.graph
         n = g.n
@@ -230,6 +302,7 @@ class SyncNetwork:
         gens = self._spawn(program, contexts)
         rows = g.csr_rows()
         emit, prof = self._resolve_bus(bus, contexts)
+        injector = self._resolve_faults(faults)
 
         # Wire every context into the shared routing state: sends and
         # broadcasts deliver straight into the pooled mail slots below.
@@ -249,6 +322,19 @@ class SyncNetwork:
         outputs: dict[int, Any] = {}
         rounds = [0] * n
         active: list[int] = list(range(n))
+        if injector is not None:
+            # crash-stop persists across a session's runs: vertices crashed
+            # in an earlier phase never even start here
+            pre_crashed = injector.begin_run(emit)
+            if pre_crashed:
+                for v in pre_crashed:
+                    if v < n and gens[v] is not None:
+                        gens[v].close()
+                        gens[v] = None
+                active = [v for v in active if gens[v] is not None]
+            if injector.messages_active:
+                for ctx in contexts:
+                    ctx._faults = injector
         active_trace: list[int] = []
         msg_trace: list[int] = []
         rnd = 0
@@ -256,10 +342,25 @@ class SyncNetwork:
 
         while active:
             rnd += 1
+            if injector is not None:
+                # The crash half of the injection hook: crashed vertices
+                # perform no computation from this round on and announce
+                # nothing; delayed copies due now join this round's mail.
+                crashes, due = injector.on_round(rnd, active)
+                if crashes:
+                    for v in crashes:
+                        gens[v].close()
+                        gens[v] = None
+                        rounds[v] = rnd - 1
+                    active = [v for v in active if gens[v] is not None]
+                    if not active:
+                        break
+                for src, dst, payload in due:
+                    if gens[dst] is not None:
+                        slots_cur[dst].append((src, payload))
+                        dirty_cur.append(dst)
             if rnd > max_rounds:
-                raise MaxRoundsExceeded(
-                    f"{len(active)} vertices still active after {max_rounds} rounds"
-                )
+                raise RoundLimitExceeded(max_rounds, active, contexts)
             active_trace.append(len(active))
             if emit is not None:
                 emit(RoundStart(rnd, len(active)))
@@ -359,17 +460,22 @@ class SyncNetwork:
                             emit(Drop(rnd, v, len(slot)))
                         slot.clear()
 
+            # Delayed copies held by the fault injector left their senders
+            # this round: they are this round's traffic too.
+            msgs_total = router.msgs + len(newly_halted)
+            if injector is not None:
+                msgs_total += injector.take_delayed_count()
             if emit is not None:
                 emit(
                     RoundEnd(
                         rnd,
-                        router.msgs + len(newly_halted),
+                        msgs_total,
                         len({u for u in dirty_next if slots_next[u]}),
                         len(newly_halted),
                     )
                 )
             if collect_messages:
-                msg_trace.append(router.msgs + len(newly_halted))
+                msg_trace.append(msgs_total)
             router.msgs = 0
             active = still_active
 
@@ -395,9 +501,13 @@ class SyncNetwork:
             ctx._commit_round if ctx._commit_round is not None else rounds[v]
             for v, ctx in enumerate(contexts)
         )
+        crashed: tuple[int, ...] = ()
+        if injector is not None and injector.crashed:
+            crashed = tuple(sorted(v for v in injector.crashed if v < n))
         return RunResult(
             outputs=outputs,
             metrics=metrics,
             contexts=tuple(contexts),
             output_rounds=output_rounds,
+            crashed=crashed,
         )

@@ -30,11 +30,14 @@ from repro.runtime.context import _EMPTY_FROZENSET
 from repro.runtime.network import (
     MaxRoundsExceeded,
     ProgramFactory,
+    RoundLimitExceeded,
     RunResult,
     SyncNetwork,
     default_max_rounds,
 )
 from repro.runtime.metrics import RoundMetrics
+
+__all__ = ["MaxRoundsExceeded", "ReferenceSyncNetwork", "RoundLimitExceeded"]
 
 
 class ReferenceSyncNetwork(SyncNetwork):
@@ -52,6 +55,7 @@ class ReferenceSyncNetwork(SyncNetwork):
         max_rounds: int | None = None,
         collect_messages: bool = True,
         bus=None,
+        faults=None,
     ) -> RunResult:
         """Execute ``program`` on every vertex until all terminate."""
         g = self.graph
@@ -66,10 +70,25 @@ class ReferenceSyncNetwork(SyncNetwork):
         # Same instrumentation contract as the fast engine: the emitted
         # event stream must be identical (the differential suite checks).
         emit, prof = self._resolve_bus(bus, contexts)
+        # Same fault contract as the fast engine: the injector is driven
+        # at the same deliver/route boundaries, so a seeded FaultPlan
+        # perturbs both engines bit-identically.
+        injector = self._resolve_faults(faults)
 
         outputs: dict[int, Any] = {}
         rounds = [0] * n
         active: list[int] = list(range(n))
+        if injector is not None:
+            pre_crashed = injector.begin_run(emit)
+            if pre_crashed:
+                for v in pre_crashed:
+                    if v < n and gens[v] is not None:
+                        gens[v].close()
+                        gens[v] = None
+                active = [v for v in active if gens[v] is not None]
+            if injector.messages_active:
+                for ctx in contexts:
+                    ctx._faults = injector
         pending: dict[int, dict[int, Any]] = {}
         active_trace: list[int] = []
         msg_trace: list[int] = []
@@ -78,10 +97,26 @@ class ReferenceSyncNetwork(SyncNetwork):
 
         while active:
             rnd += 1
+            if injector is not None:
+                crashes, due = injector.on_round(rnd, active)
+                if crashes:
+                    for v in crashes:
+                        gens[v].close()
+                        gens[v] = None
+                        rounds[v] = rnd - 1
+                    active = [v for v in active if gens[v] is not None]
+                    if not active:
+                        break
+                for src, dst, payload in due:
+                    if gens[dst] is not None:
+                        box = pending.setdefault(dst, {})
+                        slot = box.get(src)
+                        if slot is None:
+                            box[src] = [payload]
+                        else:
+                            slot.append(payload)
             if rnd > max_rounds:
-                raise MaxRoundsExceeded(
-                    f"{len(active)} vertices still active after {max_rounds} rounds"
-                )
+                raise RoundLimitExceeded(max_rounds, active, contexts)
             active_trace.append(len(active))
             if emit is not None:
                 emit(RoundStart(rnd, len(active)))
@@ -177,17 +212,20 @@ class ReferenceSyncNetwork(SyncNetwork):
                     if emit is not None:
                         emit(Drop(rnd, v, dropped))
 
+            msgs_total = msg_count + len(newly_halted)
+            if injector is not None:
+                msgs_total += injector.take_delayed_count()
             if emit is not None:
                 emit(
                     RoundEnd(
                         rnd,
-                        msg_count + len(newly_halted),
+                        msgs_total,
                         len(next_pending),
                         len(newly_halted),
                     )
                 )
             if collect_messages:
-                msg_trace.append(msg_count + len(newly_halted))
+                msg_trace.append(msgs_total)
             active = still_active
             pending = next_pending
             if prof is not None:
@@ -202,9 +240,13 @@ class ReferenceSyncNetwork(SyncNetwork):
             ctx._commit_round if ctx._commit_round is not None else rounds[v]
             for v, ctx in enumerate(contexts)
         )
+        crashed: tuple[int, ...] = ()
+        if injector is not None and injector.crashed:
+            crashed = tuple(sorted(v for v in injector.crashed if v < n))
         return RunResult(
             outputs=outputs,
             metrics=metrics,
             contexts=tuple(contexts),
             output_rounds=output_rounds,
+            crashed=crashed,
         )

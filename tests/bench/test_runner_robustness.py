@@ -1,0 +1,166 @@
+"""Runner hardening: pool breakage salvage, typed timeouts, recorded
+execution mode, loud degradation, and worker-state hygiene."""
+
+import multiprocessing
+import os
+import time
+
+import pytest
+
+import repro
+from repro.bench import make_workload, sweep
+from repro.bench.runner import (
+    SweepDegradedWarning,
+    SweepTimeout,
+    _WORKER_STATE,
+    _fork_available,
+)
+
+WL = make_workload("forest_union_a2")
+
+pytestmark = pytest.mark.skipif(
+    not _fork_available() and not os.environ.get("REPRO_NO_PARALLEL_SWEEP"),
+    reason="parallel sweep requires the fork start method",
+)
+
+
+def _run(g, a, ids, s):
+    return repro.run_partition(g, a=a, ids=ids)
+
+
+def _crashy_run(g, a, ids, s):
+    # Simulate an OOM-killed / segfaulted worker: die hard, but ONLY
+    # inside a pool worker -- the serial salvage re-run (parent process)
+    # must succeed and produce the real value.
+    if s == 1 and multiprocessing.parent_process() is not None:
+        os._exit(137)
+    return repro.run_partition(g, a=a, ids=ids)
+
+
+def _sleepy_run(g, a, ids, s):
+    if s == 1 and multiprocessing.parent_process() is not None:
+        time.sleep(2.0)
+    return repro.run_partition(g, a=a, ids=ids)
+
+
+def _raising_run(g, a, ids, s):
+    if s == 1:
+        raise RuntimeError("algorithm bug, not infrastructure")
+    return repro.run_partition(g, a=a, ids=ids)
+
+
+class TestSalvage:
+    def test_worker_crash_salvages_to_complete_series(self):
+        serial = sweep("s", _crashy_run, WL, (40, 60), seeds=2, parallel=False)
+        with pytest.warns(SweepDegradedWarning, match="re-running"):
+            salvaged = sweep(
+                "s", _crashy_run, WL, (40, 60), seeds=2, parallel=True
+            )
+        assert salvaged.mode == "salvaged"
+        assert serial.mode == "serial"
+        # the salvaged sweep is complete and value-identical to serial
+        assert salvaged.points == serial.points
+        assert salvaged.ns == [40, 60]
+
+    def test_worker_crash_leaves_no_worker_state(self):
+        with pytest.warns(SweepDegradedWarning):
+            sweep("s", _crashy_run, WL, (40,), seeds=2, parallel=True)
+        assert _WORKER_STATE == {}
+
+
+class TestTimeout:
+    def test_hung_worker_raises_typed_timeout_naming_the_cell(self):
+        with pytest.raises(SweepTimeout) as exc:
+            sweep(
+                "t",
+                _sleepy_run,
+                WL,
+                (40,),
+                seeds=2,
+                parallel=True,
+                timeout=0.5,
+            )
+        err = exc.value
+        assert err.n == 40
+        assert err.seed == 1
+        assert err.timeout == 0.5
+        assert "(n=40, seed=1)" in str(err)
+        assert isinstance(err, TimeoutError)
+
+    def test_timeout_clears_worker_state(self):
+        with pytest.raises(SweepTimeout):
+            sweep(
+                "t", _sleepy_run, WL, (40,), seeds=2, parallel=True, timeout=0.5
+            )
+        assert _WORKER_STATE == {}
+
+    def test_fast_sweep_passes_under_generous_timeout(self):
+        s = sweep("t", _run, WL, (40,), seeds=2, parallel=True, timeout=120.0)
+        assert s.mode == "parallel"
+        assert len(s.points) == 1
+
+
+class TestMode:
+    def test_parallel_mode_recorded(self):
+        s = sweep("m", _run, WL, (40, 60), seeds=2, parallel=True)
+        assert s.mode == "parallel"
+
+    def test_serial_mode_recorded(self):
+        s = sweep("m", _run, WL, (40,), seeds=1, parallel=False)
+        assert s.mode == "serial"
+
+    def test_auto_small_sweep_is_serial(self):
+        s = sweep("m", _run, WL, (40,), seeds=2)  # below the auto threshold
+        assert s.mode == "serial"
+
+    def test_mode_excluded_from_equality(self):
+        a = sweep("m", _run, WL, (40,), seeds=2, parallel=False)
+        b = sweep("m", _run, WL, (40,), seeds=2, parallel=True)
+        assert b.mode == "parallel"
+        assert a == b  # values identical; mode is metadata
+
+
+class TestDegradationIsLoud:
+    def test_env_escape_hatch_warns_when_parallel_requested(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_PARALLEL_SWEEP", "1")
+        with pytest.warns(SweepDegradedWarning, match="REPRO_NO_PARALLEL_SWEEP"):
+            s = sweep("d", _run, WL, (40,), seeds=2, parallel=True)
+        assert s.mode == "serial"
+        assert len(s.points) == 1
+
+    def test_env_escape_hatch_keeps_worker_state_empty(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_PARALLEL_SWEEP", "1")
+        with pytest.warns(SweepDegradedWarning):
+            sweep("d", _run, WL, (40,), seeds=2, parallel=True)
+        assert _WORKER_STATE == {}
+
+    def test_explicit_serial_does_not_warn(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", SweepDegradedWarning)
+            sweep("d", _run, WL, (40,), seeds=2, parallel=False)
+
+
+class TestWorkerStateHygiene:
+    def test_cleared_after_successful_parallel_sweep(self):
+        sweep("h", _run, WL, (40, 60), seeds=2, parallel=True)
+        assert _WORKER_STATE == {}
+
+    def test_cleared_when_pool_setup_raises(self, monkeypatch):
+        import concurrent.futures
+
+        def boom(*a, **k):
+            raise OSError("no more processes")
+
+        monkeypatch.setattr(concurrent.futures, "ProcessPoolExecutor", boom)
+        with pytest.raises(OSError, match="no more processes"):
+            sweep("h", _run, WL, (40,), seeds=2, parallel=True)
+        assert _WORKER_STATE == {}
+
+    def test_cleared_when_the_algorithm_itself_raises(self):
+        # a real bug in run() propagates (it is not infrastructure) but
+        # must not leak the stashed callables
+        with pytest.raises(RuntimeError, match="algorithm bug"):
+            sweep("h", _raising_run, WL, (40,), seeds=2, parallel=True)
+        assert _WORKER_STATE == {}

@@ -1,0 +1,159 @@
+"""The fuzz loop and its CLI: sampling determinism, the smoke gate, and
+end-to-end shrink-to-artifact on a deliberately broken verifier."""
+
+import pytest
+
+from repro.cli import main
+from repro.faults import FaultPlan
+from repro.faults.fuzz import FuzzReport, fuzz, sample_cases, sample_plan, smoke
+from repro.verify import VerificationError
+
+
+class TestSampling:
+    def test_sampling_is_deterministic_in_seed(self):
+        a = list(sample_cases(20, seed=5))
+        b = list(sample_cases(20, seed=5))
+        c = list(sample_cases(20, seed=6))
+        assert a == b
+        assert a != c
+
+    def test_sampled_plans_are_never_empty(self):
+        for case in sample_cases(50, seed=0):
+            assert not case.plan.empty
+
+    def test_crash_only_space_has_no_message_faults(self):
+        for case in sample_cases(50, seed=1, crash_only=True):
+            assert case.plan.messages is None
+
+    def test_full_space_includes_message_faults(self):
+        cases = list(sample_cases(50, seed=2))
+        assert any(c.plan.messages is not None for c in cases)
+
+    def test_sample_plan_round_trips(self):
+        import random
+
+        rng = random.Random(3)
+        for _ in range(20):
+            plan = sample_plan(rng)
+            assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+
+class TestSmoke:
+    def test_smoke_has_zero_violations(self):
+        """The CI gate's core claim: crash-only plans never break the
+        safety of the seed algorithm zoo on the surviving subgraph."""
+        report = smoke(budget=15, seed=0)
+        assert report.ok
+        assert report.count("violation") == 0
+        assert len(report.outcomes) == 15
+
+    def test_report_summary_counts(self):
+        report = smoke(budget=6, seed=1)
+        text = report.summary()
+        assert "6 cases" in text and "0 VIOLATIONS" in text
+
+
+class TestFailurePipeline:
+    def test_broken_verifier_shrinks_to_replayable_artifact(self, tmp_path):
+        def broken(g, res, alive):
+            if g.n >= 20:
+                raise VerificationError("planted defect")
+
+        report = fuzz(
+            budget=4,
+            seed=3,
+            out_dir=str(tmp_path),
+            algorithms=["partition"],
+            crash_only=True,
+            checks={"partition": broken},
+        )
+        assert not report.ok
+        assert report.violations
+        small_outcome, original, path = report.violations[0]
+        # shrunk below the original and still failing
+        assert small_outcome.case.n <= original.n
+        assert small_outcome.status == "violation"
+        assert path is not None
+        # the artifact replays: with the planted defect it fails again,
+        # without it the same case is clean (the defect was the verifier)
+        from repro.faults import replay_artifact
+
+        assert (
+            replay_artifact(path, checks={"partition": broken}).status
+            == "violation"
+        )
+        assert replay_artifact(path).status in ("valid", "non-termination")
+
+    def test_clean_run_writes_no_artifacts(self, tmp_path):
+        out_dir = tmp_path / "artifacts"
+        report = fuzz(
+            budget=4,
+            seed=0,
+            out_dir=str(out_dir),
+            algorithms=["partition"],
+            crash_only=True,
+        )
+        assert report.ok
+        assert not out_dir.exists()  # created only on failure
+
+    def test_report_ok_property(self):
+        assert FuzzReport().ok
+        r = FuzzReport()
+        r.violations.append((None, None, None))
+        assert not r.ok
+
+
+class TestCli:
+    def test_cli_smoke_exits_zero(self, capsys):
+        rc = main(["fuzz", "--smoke", "--budget", "8", "--seed", "0"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "8 cases" in out
+        assert "0 VIOLATIONS" in out
+
+    def test_cli_verbose_prints_cases(self, capsys):
+        rc = main(["fuzz", "--smoke", "--budget", "3", "-v"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert out.count("valid") + out.count("non-termination") >= 3
+
+    def test_cli_replay_artifact(self, tmp_path, capsys):
+        from repro.faults import CrashSpec, FuzzCase, run_case, write_artifact
+
+        case = FuzzCase(
+            algorithm="mis",
+            workload="gnp_sparse",
+            n=40,
+            seed=5,
+            plan=FaultPlan(seed=2, crashes=CrashSpec(at={3: 2, 7: 1})),
+        )
+        path = str(tmp_path / "case.json")
+        write_artifact(path, run_case(case))
+        rc = main(["fuzz", "--replay", path])
+        out = capsys.readouterr().out
+        assert rc == 0  # non-termination is caught, not a violation
+        assert "non-termination" in out
+
+    def test_cli_run_with_faults_flag(self, capsys):
+        rc = main(
+            [
+                "run",
+                "partition",
+                "-n",
+                "120",
+                "--faults",
+                '{"seed": 7, "crashes": {"hazard": 0.01}}',
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "faults   : seed=7 hazard=0.01" in out
+        assert "survivor-safety OK" in out
+
+    def test_cli_run_with_faults_file(self, tmp_path, capsys):
+        spec = tmp_path / "plan.json"
+        spec.write_text('{"seed": 1, "crashes": {"at": {"3": 1}}}')
+        rc = main(["run", "partition", "-n", "80", "--faults", f"@{spec}"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "crashed: [3]" in out

@@ -12,6 +12,10 @@ from repro.obs.events import (
     Commit,
     Drop,
     EventBus,
+    FaultCrash,
+    FaultDelay,
+    FaultDrop,
+    FaultDup,
     Halt,
     RoundEnd,
     RoundStart,
@@ -30,6 +34,10 @@ def _sample_events():
         Commit(1, 4),
         Halt(1, 4),
         Drop(1, 4, 2),
+        FaultCrash(1, 4),
+        FaultDrop(2, 0, 1),
+        FaultDup(2, 0, 1),
+        FaultDelay(2, 0, 1, 3),
         RoundEnd(1, 4, 3, 1),
     ]
 
@@ -58,6 +66,10 @@ def test_registry_covers_the_issue_event_vocabulary():
         "commit",
         "halt",
         "drop",
+        "fault_crash",
+        "fault_drop",
+        "fault_dup",
+        "fault_delay",
     }
 
 

@@ -1,0 +1,135 @@
+"""Crash-safe JSONL traces: batch flushing, idempotent close, and
+torn-write tolerance in the loader."""
+
+import json
+
+import pytest
+
+from repro.obs.events import Halt, RoundStart
+from repro.obs.report import RunReport, load_records
+from repro.obs.sinks import JsonlSink
+
+
+def _fill(sink, events):
+    for e in events:
+        sink.emit(e)
+
+
+class TestFlushing:
+    def test_header_is_flushed_immediately(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        sink = JsonlSink(path, meta={"algo": "x"})
+        try:
+            meta, records = load_records(path)  # readable before any event
+            assert meta["algo"] == "x"
+            assert records == []
+        finally:
+            sink.close()
+
+    def test_events_visible_after_each_batch(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        sink = JsonlSink(path)
+        try:
+            _fill(sink, [RoundStart(r + 1, 10) for r in range(sink.FLUSH_EVERY)])
+            # one full batch: all of it is on disk without any close()
+            _, records = load_records(path)
+            assert len(records) == sink.FLUSH_EVERY
+        finally:
+            sink.close()
+
+    def test_loss_bounded_to_the_last_partial_batch(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        sink = JsonlSink(path)
+        try:
+            _fill(sink, [RoundStart(r + 1, 10) for r in range(150)])
+            _, records = load_records(path)
+            # 150 = 2 full batches of 64 + 22 pending: at least the full
+            # batches are durable even if the process dies right now
+            assert len(records) >= 2 * sink.FLUSH_EVERY
+        finally:
+            sink.close()
+
+    def test_close_flushes_the_tail(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        with JsonlSink(path) as sink:
+            _fill(sink, [RoundStart(r + 1, 5) for r in range(7)])
+        _, records = load_records(path)
+        assert len(records) == 7
+
+
+class TestClose:
+    def test_close_is_idempotent(self, tmp_path):
+        sink = JsonlSink(str(tmp_path / "t.jsonl"))
+        sink.close()
+        sink.close()  # second close must not raise on the released handle
+        sink.close()
+
+    def test_borrowed_handle_not_closed(self, tmp_path):
+        with open(tmp_path / "t.jsonl", "w") as fh:
+            sink = JsonlSink(fh)
+            sink.emit(RoundStart(1, 3))
+            sink.close()
+            assert not fh.closed  # caller owns it
+            sink.close()
+
+
+class TestTornWrites:
+    def _trace_lines(self, tmp_path, n_events=5):
+        path = str(tmp_path / "t.jsonl")
+        with JsonlSink(path, meta={"algo": "a2"}) as sink:
+            _fill(sink, [RoundStart(r + 1, 9) for r in range(n_events)])
+        with open(path) as fh:
+            return path, fh.read().splitlines()
+
+    def test_torn_final_line_is_tolerated_and_flagged(self, tmp_path):
+        path, lines = self._trace_lines(tmp_path)
+        lines[-1] = lines[-1][: len(lines[-1]) // 2]  # kill mid-write
+        with open(path, "w") as fh:
+            fh.write("\n".join(lines))
+        meta, records = load_records(path)
+        assert meta["_truncated"] is True
+        assert meta["algo"] == "a2"
+        assert len(records) == 4  # the torn record is discarded
+        rep = RunReport.from_path(path)
+        assert "TRUNCATED" in rep.describe_meta()
+
+    def test_intact_trace_is_not_flagged(self, tmp_path):
+        path, _ = self._trace_lines(tmp_path)
+        meta, records = load_records(path)
+        assert "_truncated" not in meta
+        assert len(records) == 5
+        assert "TRUNCATED" not in RunReport.from_path(path).describe_meta()
+
+    def test_mid_file_corruption_still_raises(self, tmp_path):
+        path, lines = self._trace_lines(tmp_path)
+        lines[2] = lines[2][:10]  # corruption NOT at the tail
+        with open(path, "w") as fh:
+            fh.write("\n".join(lines))
+        with pytest.raises(ValueError, match="corrupt trace record"):
+            load_records(path)
+
+    def test_torn_trace_still_analyzable(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        with JsonlSink(path) as sink:
+            for r in range(3):
+                sink.emit(RoundStart(r + 1, 10 - r))
+            sink.emit(Halt(3, 7))
+            sink.emit(RoundStart(4, 6))
+        with open(path) as fh:
+            data = fh.read()
+        with open(path, "w") as fh:
+            fh.write(data[:-9])  # tear the final record
+        rep = RunReport.from_path(path)
+        col = rep.main
+        assert col.rounds == 3  # the torn round_start is gone
+        assert col.termination_round == {7: 3}
+
+    def test_torn_json_payload_not_just_truncated_string(self, tmp_path):
+        # a torn line that is itself valid-prefix JSON garbage
+        path = str(tmp_path / "t.jsonl")
+        with open(path, "w") as fh:
+            fh.write(json.dumps({"ev": "meta", "schema": 1}) + "\n")
+            fh.write('{"ev": "round_start", "round": 1, "act')
+        meta, records = load_records(path)
+        assert meta["_truncated"] is True
+        assert records == []
