@@ -11,8 +11,16 @@ from repro.bench.runner import (
     summarize,
 )
 from repro.bench.tables import render_table, render_rows
+from repro.bench.paper import (
+    paper_tables,
+    render_spec_comparison,
+    spec_series,
+)
 
 __all__ = [
+    "paper_tables",
+    "render_spec_comparison",
+    "spec_series",
     "WORKLOADS",
     "Workload",
     "make_workload",

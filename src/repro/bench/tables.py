@@ -24,9 +24,21 @@ def render_table(
     return "\n".join(out)
 
 
-def render_rows(title: str, ours: Series, baseline: Series | None = None) -> str:
+def render_rows(
+    title: str,
+    ours: Series,
+    baseline: Series | None = None,
+    row_id: str | None = None,
+) -> str:
     """Render a Table 1/2-shaped comparison row: our vertex-averaged series
-    against the baseline's (worst-case-schedule) series."""
+    against the baseline's (worst-case-schedule) series.
+
+    ``row_id`` (the registry's paper-row citation, e.g. ``"T2.R1
+    (Section 8.4)"``) is appended to the title so the output is directly
+    citable against PAPER.md.
+    """
+    if row_id:
+        title = f"{title} [{row_id}]"
     header = ["n", f"{ours.label} avg", f"{ours.label} worst"]
     if baseline is not None:
         header += [f"{baseline.label} avg", f"{baseline.label} worst"]

@@ -2,111 +2,41 @@
 
 Commands
 --------
-``list``      algorithms and workloads.
+``list``      the algorithm registry (one row per :class:`~repro.zoo
+              .AlgorithmSpec`: problem kind, paper row, baseline,
+              flags) and the workload registry; ``--check`` is the
+              registry-consistency CI gate.
 ``run``       run one algorithm on a workload, validate the solution and
               print the round accounting; ``--trace-out`` records a JSONL
-              event trace, ``--profile`` prints engine phase timings.
+              event trace, ``--profile`` prints engine phase timings,
+              ``--engine reference`` replays on the specification engine.
 ``compare``   run an averaged algorithm and its worst-case baseline over an
-              n-sweep and print the paper-table-shaped comparison.
+              n-sweep and print the paper-table-shaped comparison;
+              ``--all`` emits every Table 1/2 row the registry declares.
 ``inspect``   load a JSONL event trace: round narrative, active-vertex
               decay table, and trace-vs-trace diffs.
 ``fuzz``      sample (algorithm x workload x fault plan) triples, run each
               under the seeded fault adversary, shrink violations to
               minimal replayable artifacts; ``--smoke`` is the CI gate.
+
+All algorithm choices derive from :mod:`repro.zoo`; this module holds no
+algorithm tables of its own.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable
 
-import repro
-from repro import obs
-from repro.bench import WORKLOADS, make_workload, render_rows, sweep
+from repro import zoo
+from repro.bench import WORKLOADS, make_workload, paper_tables, render_spec_comparison
 from repro.graphs import generators as gen
 from repro.obs import report as obs_report
-from repro import verify
-
-
-def _validate_coloring(g, res):
-    verify.assert_proper_coloring(g, res.colors)
-    return f"proper coloring, {res.colors_used} colors (bound {res.palette_bound})"
-
-
-def _validate_mis(g, res):
-    verify.assert_maximal_independent_set(g, res.mis)
-    return f"maximal independent set, |I| = {len(res.mis)}"
-
-
-def _validate_mm(g, res):
-    verify.assert_maximal_matching(g, res.matching)
-    return f"maximal matching, |M| = {len(res.matching)}"
-
-
-def _validate_ec(g, res):
-    verify.assert_proper_edge_coloring(g, res.edge_colors)
-    return f"proper edge coloring, {res.colors_used} colors (bound {res.palette_bound})"
-
-
-def _validate_partition(g, res):
-    verify.assert_h_partition(g, res.h_index, res.A)
-    return f"H-partition into {res.num_sets} sets (A = {res.A})"
-
-
-#: name -> (driver(graph, a, ids, seed), validator)
-ALGORITHMS: dict[str, tuple[Callable, Callable]] = {
-    "partition": (lambda g, a, ids, s: repro.run_partition(g, a=a, ids=ids), _validate_partition),
-    "a2logn": (lambda g, a, ids, s: repro.run_a2logn_coloring(g, a=a, ids=ids), _validate_coloring),
-    "a2": (lambda g, a, ids, s: repro.run_a2_coloring(g, a=a, ids=ids), _validate_coloring),
-    "oa": (lambda g, a, ids, s: repro.run_oa_coloring(g, a=a, ids=ids), _validate_coloring),
-    "ka2": (lambda g, a, ids, s: repro.run_ka2_coloring(g, a=a, ids=ids), _validate_coloring),
-    "ka": (lambda g, a, ids, s: repro.run_ka_coloring(g, a=a, ids=ids), _validate_coloring),
-    "one-plus-eta": (
-        lambda g, a, ids, s: repro.run_one_plus_eta_coloring(g, a=a, ids=ids),
-        _validate_coloring,
-    ),
-    "delta-plus-one": (
-        lambda g, a, ids, s: repro.run_delta_plus_one_coloring(g, a=a, ids=ids),
-        _validate_coloring,
-    ),
-    "mis": (lambda g, a, ids, s: repro.run_mis(g, a=a, ids=ids), _validate_mis),
-    "edge-coloring": (lambda g, a, ids, s: repro.run_edge_coloring(g, a=a, ids=ids), _validate_ec),
-    "matching": (
-        lambda g, a, ids, s: repro.run_maximal_matching(g, a=a, ids=ids),
-        _validate_mm,
-    ),
-    "rand-delta-plus-one": (
-        lambda g, a, ids, s: repro.run_rand_delta_plus_one(g, ids=ids, seed=s),
-        _validate_coloring,
-    ),
-    "aloglogn": (
-        lambda g, a, ids, s: repro.run_aloglogn_coloring(g, a=a, ids=ids, seed=s),
-        _validate_coloring,
-    ),
-}
-
-#: averaged algorithm -> its worst-case baseline, for `compare`
-BASELINES: dict[str, Callable] = {
-    "partition": lambda g, a, ids, s: repro.run_worstcase_forest_decomposition(g, a=a, ids=ids),
-    "a2logn": lambda g, a, ids, s: repro.run_arb_linial_worstcase(g, a=a, ids=ids),
-    "a2": lambda g, a, ids, s: repro.run_arb_linial_worstcase(g, a=a, ids=ids),
-    "ka2": lambda g, a, ids, s: repro.run_arb_linial_worstcase(g, a=a, ids=ids),
-    "oa": lambda g, a, ids, s: repro.run_arb_color_worstcase(g, a=a, ids=ids),
-    "ka": lambda g, a, ids, s: repro.run_arb_color_worstcase(g, a=a, ids=ids),
-    "delta-plus-one": lambda g, a, ids, s: repro.run_delta_plus_one_worstcase(g, ids=ids),
-    "edge-coloring": lambda g, a, ids, s: repro.run_edge_coloring(
-        g, a=a, ids=ids, worstcase_schedule=True
-    ),
-    "matching": lambda g, a, ids, s: repro.run_maximal_matching(
-        g, a=a, ids=ids, worstcase_schedule=True
-    ),
-    "aloglogn": lambda g, a, ids, s: repro.run_arb_color_worstcase(g, a=a, ids=ids),
-}
+from repro.runtime import ENGINES
 
 
 def build_parser() -> argparse.ArgumentParser:
-    """The argparse CLI definition."""
+    """The argparse CLI definition (choices come from the registry)."""
     p = argparse.ArgumentParser(
         prog="repro",
         description="Distributed symmetry-breaking with improved "
@@ -114,15 +44,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = p.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list algorithms and workloads")
+    ls = sub.add_parser("list", help="list algorithms and workloads")
+    ls.add_argument(
+        "--check",
+        action="store_true",
+        help="CI gate: exit non-zero on any registry/CLI/fuzz/baseline "
+        "inconsistency or unregistered driver",
+    )
 
     run = sub.add_parser("run", help="run one algorithm and print metrics")
-    run.add_argument("algorithm", choices=sorted(ALGORITHMS))
+    run.add_argument("algorithm", choices=zoo.names())
     run.add_argument("-n", type=int, default=2000, help="vertex count")
     run.add_argument(
         "--workload", default="forest_union_a3", choices=sorted(WORKLOADS)
     )
     run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--engine",
+        default="fast",
+        choices=ENGINES,
+        help="round engine: the optimised fast path (default) or the "
+        "reference executable specification",
+    )
     run.add_argument(
         "--trace-out",
         default=None,
@@ -147,7 +90,18 @@ def build_parser() -> argparse.ArgumentParser:
     cmp_ = sub.add_parser(
         "compare", help="averaged algorithm vs worst-case baseline over an n-sweep"
     )
-    cmp_.add_argument("algorithm", choices=sorted(BASELINES))
+    cmp_.add_argument(
+        "algorithm",
+        nargs="?",
+        default=None,
+        choices=tuple(s.name for s in zoo.with_baseline()),
+    )
+    cmp_.add_argument(
+        "--all",
+        action="store_true",
+        dest="all_rows",
+        help="emit every registered Table 1/2 row as a paper-shaped table",
+    )
     cmp_.add_argument(
         "--workload", default="forest_union_a3", choices=sorted(WORKLOADS)
     )
@@ -188,8 +142,8 @@ def build_parser() -> argparse.ArgumentParser:
     fz.add_argument(
         "--smoke",
         action="store_true",
-        help="CI gate: crash-only plans over the seed algorithm zoo; "
-        "exits 1 on any survivor-safety violation",
+        help="CI gate: crash-only plans over every crash-safe registered "
+        "algorithm; exits 1 on any survivor-safety violation",
     )
     fz.add_argument(
         "--out",
@@ -216,13 +170,55 @@ def build_parser() -> argparse.ArgumentParser:
     return p
 
 
-def cmd_list(out=None) -> int:
-    """Print the algorithm and workload registries."""
+def cmd_list(args=None, out=None) -> int:
+    """Print the algorithm registry (with metadata) and the workloads.
+
+    ``--check`` instead runs :func:`repro.zoo.check_registry` and exits
+    non-zero on any inconsistency.
+    """
     out = out or sys.stdout
+    if args is not None and getattr(args, "check", False):
+        problems = zoo.check_registry()
+        if problems:
+            print(f"registry INCONSISTENT ({len(problems)} problems):", file=out)
+            for p in problems:
+                print(f"  - {p}", file=out)
+            return 1
+        print(
+            f"registry consistent: {len(zoo.names())} algorithms, "
+            f"{len(zoo.with_baseline())} with baselines, "
+            f"{len(zoo.crash_safe())} crash-safe (fuzzed)",
+            file=out,
+        )
+        return 0
+
+    specs = zoo.all_specs()
+    rows = []
+    for s in specs:
+        flags = []
+        if s.randomized:
+            flags.append("randomized")
+        if s.crash_safe:
+            flags.append("crash-safe")
+        rows.append(
+            (
+                s.name,
+                s.problem,
+                s.describe_row(),
+                "yes" if s.has_baseline else "-",
+                ",".join(flags) or "-",
+            )
+        )
+    header = ("name", "problem", "paper row", "baseline", "flags")
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in rows)) for i in range(len(header))
+    ]
     print("algorithms:", file=out)
-    for name in sorted(ALGORITHMS):
-        star = " (has worst-case baseline for `compare`)" if name in BASELINES else ""
-        print(f"  {name}{star}", file=out)
+    print(
+        "  " + "  ".join(h.ljust(w) for h, w in zip(header, widths)), file=out
+    )
+    for r in rows:
+        print("  " + "  ".join(c.ljust(w) for c, w in zip(r, widths)), file=out)
     print("workloads:", file=out)
     for name in sorted(WORKLOADS):
         print(f"  {name}", file=out)
@@ -242,92 +238,49 @@ def _parse_fault_plan(spec: str):
     return FaultPlan.from_dict(json.loads(text))
 
 
-def _drive(driver, g, a, ids, seed, plan, out):
-    """Run the driver, under the fault plan if one was given.
-
-    Returns ``(result, crashed)``; ``(None, crashed)`` when the
-    non-termination watchdog fired.
-    """
-    if plan is None or plan.empty:
-        return driver(g, a, ids, seed), ()
-    from repro import faults as flt
-    from repro.runtime import RoundLimitExceeded
-
-    injector = plan.injector()
-    try:
-        with flt.session(injector):
-            res = driver(g, a, ids, seed)
-    except RoundLimitExceeded as e:
-        print(f"faults   : {plan.describe()}", file=out)
-        print(f"crashed  : {sorted(injector.crashed)}", file=out)
-        print(f"NON-TERMINATION: {e}", file=out)
-        return None, tuple(sorted(injector.crashed))
-    return res, tuple(sorted(injector.crashed))
-
-
-def _validate_survivors(algorithm, g, res, crashed, validator):
-    """Under faults, check safety on the surviving subgraph only."""
-    from repro.faults import harness
-
-    check = harness.zoo().get(algorithm, (None, None))[1]
-    if check is None:
-        return "validation skipped (no survivor-safety check for this algorithm)"
-    alive = set(g.vertices()) - set(crashed)
-    check(g, res, alive)
-    return (
-        f"survivor-safety OK on {len(alive)}/{g.n} surviving vertices "
-        f"(crashed: {sorted(crashed) if crashed else 'none'})"
-    )
-
-
 def cmd_run(args, out=None) -> int:
-    """Run one algorithm, validate the solution, print metrics."""
+    """Run one algorithm through the zoo pipeline, validate, print."""
     out = out or sys.stdout
+    spec = zoo.get(args.algorithm)
     workload = make_workload(args.workload)
     g, a = workload(args.n, seed=args.seed)
     ids = gen.random_ids(g.n, seed=args.seed + 1)
-    driver, validator = ALGORITHMS[args.algorithm]
 
     plan = None  # FaultPlan, when --faults is given
     faults_spec = getattr(args, "faults", None)
     if faults_spec:
         plan = _parse_fault_plan(faults_spec)
-
     trace_out = getattr(args, "trace_out", None)
-    profile = getattr(args, "profile", False)
-    profiler = obs.PhaseProfiler() if profile else None
-    if trace_out or profile:
-        # Drivers build their networks internally, so observe them via
-        # the process-wide default bus for the duration of the run.
-        sinks = []
-        if trace_out:
-            sinks.append(
-                obs.JsonlSink(
-                    trace_out,
-                    meta={
-                        "algo": args.algorithm,
-                        "workload": args.workload,
-                        "n": args.n,
-                        "seed": args.seed,
-                    },
-                )
-            )
-        with obs.session(*sinks, profiler=profiler):
-            res, crashed = _drive(driver, g, a, ids, args.seed, plan, out)
-    else:
-        res, crashed = _drive(driver, g, a, ids, args.seed, plan, out)
-    if res is None:
-        return 2  # watchdog fired under the fault plan
 
-    if plan is not None and not plan.empty:
-        summary = _validate_survivors(args.algorithm, g, res, crashed, validator)
-    else:
-        summary = validator(g, res)
-    m = res.metrics
+    ex = zoo.execute(
+        spec,
+        g,
+        a,
+        ids,
+        args.seed,
+        engine=getattr(args, "engine", "fast"),
+        faults=plan,
+        trace=trace_out,
+        trace_meta={
+            "algo": args.algorithm,
+            "workload": args.workload,
+            "n": args.n,
+            "seed": args.seed,
+        },
+        profile=getattr(args, "profile", False),
+    )
+    if ex.watchdog is not None:
+        print(f"faults   : {ex.plan.describe()}", file=out)
+        print(f"crashed  : {sorted(ex.crashed)}", file=out)
+        print(f"NON-TERMINATION: {ex.watchdog}", file=out)
+        return 2
+
+    summary = ex.validate(g)
+    m = ex.result.metrics
     print(f"workload : {args.workload}, {g} (a <= {a}, Delta = {g.max_degree()})", file=out)
     print(f"algorithm: {args.algorithm}", file=out)
-    if plan is not None and not plan.empty:
-        print(f"faults   : {plan.describe()}", file=out)
+    if ex.faulted:
+        print(f"faults   : {ex.plan.describe()}", file=out)
     print(f"solution : {summary}", file=out)
     print(
         f"rounds   : vertex-averaged {m.vertex_averaged:.2f} | "
@@ -337,9 +290,9 @@ def cmd_run(args, out=None) -> int:
     )
     if trace_out:
         print(f"trace    : {trace_out} (repro inspect {trace_out})", file=out)
-    if profiler is not None:
+    if ex.profiler is not None:
         print("engine phase profile:", file=out)
-        print(profiler.report(), file=out)
+        print(ex.profiler.report(), file=out)
     return 0
 
 
@@ -369,19 +322,27 @@ def cmd_inspect(args, out=None) -> int:
 
 
 def cmd_compare(args, out=None) -> int:
-    """Sweep an averaged algorithm against its worst-case baseline."""
+    """Sweep averaged algorithms against their worst-case baselines.
+
+    One algorithm prints its single paper-shaped row table; ``--all``
+    renders every registered Table 1/2 row, grouped by table, entirely
+    from registry metadata.
+    """
     out = out or sys.stdout
-    workload = make_workload(args.workload)
     ns = [int(x) for x in args.sweep.split(",") if x]
-    driver, _validator = ALGORITHMS[args.algorithm]
-    baseline = BASELINES[args.algorithm]
-    ours = sweep(args.algorithm, driver, workload, ns, seeds=args.seeds)
-    base = sweep("worst-case baseline", baseline, workload, ns, seeds=args.seeds)
+    if getattr(args, "all_rows", False):
+        print(
+            paper_tables(ns, seeds=args.seeds, workload=args.workload),
+            file=out,
+        )
+        return 0
+    if args.algorithm is None:
+        print("compare: give an algorithm name or --all", file=out)
+        return 2
+    spec = zoo.get(args.algorithm)
     print(
-        render_rows(
-            f"{args.algorithm} on {args.workload}: vertex-averaged vs worst-case",
-            ours,
-            base,
+        render_spec_comparison(
+            spec, args.workload, ns, seeds=args.seeds
         ),
         file=out,
     )
@@ -434,7 +395,7 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
     if args.command == "list":
-        return cmd_list()
+        return cmd_list(args)
     if args.command == "run":
         return cmd_run(args)
     if args.command == "compare":

@@ -41,9 +41,23 @@ from repro.faults.harness import (
     run_case,
     shrink_case,
     write_artifact,
-    zoo,
 )
 from repro.faults.plan import CrashSpec, FaultPlan, MessageFaults
+
+
+def default_population() -> tuple[str, ...]:
+    """Every crash-safe registered algorithm, in registry order.
+
+    The fuzz population is *derived* from the registry rather than
+    hand-listed, so a newly registered algorithm is fuzzed by default and
+    the population cannot silently drift from the CLI's (the old ``_ZOO``
+    dict missed ``ka2``, ``one-plus-eta`` and ``aloglogn`` for exactly
+    that reason).  Lazy import: the algorithm stack must not load at
+    module import time (repro -> runtime -> faults cycle).
+    """
+    from repro import zoo
+
+    return tuple(s.name for s in zoo.crash_safe())
 
 #: workload families the fuzzer samples from (a representative slice of
 #: the bench registry: bounded arboricity, planar, Delta >> a, random)
@@ -103,7 +117,9 @@ def sample_cases(
 ) -> Iterable[FuzzCase]:
     """Yield ``budget`` seeded cases (deterministic for a given seed)."""
     rng = random.Random(seed)
-    algos = list(algorithms) if algorithms is not None else sorted(zoo())
+    algos = (
+        list(algorithms) if algorithms is not None else sorted(default_population())
+    )
     for _ in range(budget):
         yield FuzzCase(
             algorithm=rng.choice(algos),

@@ -32,6 +32,14 @@ finding such cases is the fuzzer's purpose, not a harness bug.
 fault components) while the failure reproduces, and
 :func:`write_artifact`/:func:`replay_artifact` round-trip the result
 through JSON.
+
+The algorithm population and the survivor-restricted safety checks come
+from the declarative registry (:mod:`repro.zoo`): a case's ``algorithm``
+names an :class:`~repro.zoo.spec.AlgorithmSpec`, the spec's problem kind
+selects the check, and :func:`repro.zoo.execute` drives the run.  The
+old hand-maintained ``_ZOO`` dict this module carried (which silently
+missed ``ka2``, ``one-plus-eta`` and ``aloglogn``) is gone; the fuzz
+population can no longer drift from the CLI's.
 """
 
 from __future__ import annotations
@@ -40,8 +48,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Mapping
 
-from repro.faults.plan import CrashSpec, FaultPlan, MessageFaults, session
-from repro.runtime.network import RoundLimitExceeded
+from repro.faults.plan import CrashSpec, FaultPlan
 from repro.verify import VerificationError
 
 #: artifact schema version (bump on incompatible layout changes)
@@ -115,150 +122,6 @@ class FaultOutcome:
 
 
 # ---------------------------------------------------------------------------
-# survivor-subgraph safety checks
-# ---------------------------------------------------------------------------
-
-def _alive_of(g, crashed) -> set[int]:
-    return set(g.vertices()) - set(crashed)
-
-
-def _check_vertex_coloring(g, res, alive: set[int]) -> None:
-    colors = res.colors
-    for v in alive:
-        if v not in colors:
-            raise VerificationError(
-                f"surviving vertex {v} terminated without a color"
-            )
-    for u, v in g.edges():
-        if u in alive and v in alive and colors[u] == colors[v]:
-            raise VerificationError(
-                f"surviving neighbors {u} and {v} share color {colors[u]!r}"
-            )
-
-
-def _check_partition(g, res, alive: set[int]) -> None:
-    from repro.verify import assert_h_partition
-
-    for v in alive:
-        if v not in res.h_index:
-            raise VerificationError(
-                f"surviving vertex {v} terminated without an H-index"
-            )
-    assert_h_partition(g, res.h_index, res.A, subset=alive)
-
-
-def _check_mis(g, res, alive: set[int]) -> None:
-    mis = res.mis
-    for v in alive:
-        if v not in res.in_mis:
-            raise VerificationError(
-                f"surviving vertex {v} terminated without an MIS decision"
-            )
-    for u, v in g.edges():
-        if u in alive and v in alive and u in mis and v in mis:
-            raise VerificationError(
-                f"surviving MIS vertices {u} and {v} are adjacent"
-            )
-
-
-def _check_matching(g, res, alive: set[int]) -> None:
-    seen: dict[int, tuple[int, int]] = {}
-    for e in res.matching:
-        u, v = e
-        if not g.has_edge(u, v):
-            raise VerificationError(f"matching edge {e} is not in G")
-        for x in (u, v):
-            if x in alive and x in seen:
-                raise VerificationError(
-                    f"surviving vertex {x} is matched twice: {seen[x]} and {e}"
-                )
-            seen[x] = e
-
-
-def _check_edge_coloring(g, res, alive: set[int]) -> None:
-    from repro.graphs.graph import canonical_edge
-
-    ec = res.edge_colors
-    # adjacent survivor-survivor edges must have distinct colors
-    for v in alive:
-        by_color: dict[int, tuple[int, int]] = {}
-        for u in g.neighbors(v):
-            if u not in alive:
-                continue
-            e = canonical_edge(u, v)
-            c = ec.get(e)
-            if c is None:
-                raise VerificationError(f"surviving edge {e} has no color")
-            if c in by_color:
-                raise VerificationError(
-                    f"edges {by_color[c]} and {e} at surviving vertex {v} "
-                    f"share color {c}"
-                )
-            by_color[c] = e
-
-
-#: algorithm name -> (driver(g, a, ids, seed), survivor-safety check).
-#: Built lazily: importing the full algorithm stack at module load would
-#: create an import cycle (repro -> runtime -> faults).
-_ZOO: dict[str, tuple[Callable, Callable]] | None = None
-
-
-def zoo() -> dict[str, tuple[Callable, Callable]]:
-    """The seed algorithm zoo the fuzzer samples from."""
-    global _ZOO
-    if _ZOO is None:
-        import repro
-
-        _ZOO = {
-            "partition": (
-                lambda g, a, ids, s: repro.run_partition(g, a=a, ids=ids),
-                _check_partition,
-            ),
-            "a2logn": (
-                lambda g, a, ids, s: repro.run_a2logn_coloring(g, a=a, ids=ids),
-                _check_vertex_coloring,
-            ),
-            "a2": (
-                lambda g, a, ids, s: repro.run_a2_coloring(g, a=a, ids=ids),
-                _check_vertex_coloring,
-            ),
-            "oa": (
-                lambda g, a, ids, s: repro.run_oa_coloring(g, a=a, ids=ids),
-                _check_vertex_coloring,
-            ),
-            "ka": (
-                lambda g, a, ids, s: repro.run_ka_coloring(g, a=a, ids=ids),
-                _check_vertex_coloring,
-            ),
-            "delta-plus-one": (
-                lambda g, a, ids, s: repro.run_delta_plus_one_coloring(
-                    g, a=a, ids=ids
-                ),
-                _check_vertex_coloring,
-            ),
-            "mis": (
-                lambda g, a, ids, s: repro.run_mis(g, a=a, ids=ids),
-                _check_mis,
-            ),
-            "matching": (
-                lambda g, a, ids, s: repro.run_maximal_matching(g, a=a, ids=ids),
-                _check_matching,
-            ),
-            "edge-coloring": (
-                lambda g, a, ids, s: repro.run_edge_coloring(g, a=a, ids=ids),
-                _check_edge_coloring,
-            ),
-            "rand-delta-plus-one": (
-                lambda g, a, ids, s: repro.run_rand_delta_plus_one(
-                    g, ids=ids, seed=s
-                ),
-                _check_vertex_coloring,
-            ),
-        }
-    return _ZOO
-
-
-# ---------------------------------------------------------------------------
 # run + classify
 # ---------------------------------------------------------------------------
 
@@ -268,19 +131,17 @@ def run_case(
 ) -> FaultOutcome:
     """Execute one case under its fault plan and classify the outcome.
 
-    ``checks`` optionally overrides the survivor-safety check per
-    algorithm name (the fuzz self-test injects a deliberately broken
-    verifier through it).
+    The algorithm is resolved through the registry; the survivor-safety
+    check comes from the spec's problem kind.  ``checks`` optionally
+    overrides the check per algorithm name (the fuzz self-test injects a
+    deliberately broken verifier through it).
     """
+    from repro import zoo
     from repro.bench.workloads import make_workload
     from repro.graphs import generators as gen
 
-    try:
-        driver, check = zoo()[case.algorithm]
-    except KeyError:
-        raise KeyError(
-            f"unknown algorithm {case.algorithm!r}; known: {sorted(zoo())}"
-        ) from None
+    spec = zoo.get(case.algorithm)  # KeyError lists the known names
+    check = zoo.survivor_check(spec.problem)
     if checks is not None and case.algorithm in checks:
         check = checks[case.algorithm]
 
@@ -288,40 +149,32 @@ def run_case(
     g, a = workload(case.n, seed=case.seed)
     ids = gen.random_ids(g.n, seed=1000 + case.seed)
 
-    injector = case.plan.injector()
-    try:
-        with session(injector):
-            res = driver(g, a, ids, case.seed)
-    except RoundLimitExceeded as e:
+    ex = zoo.execute(
+        spec, g, a, ids, case.seed, faults=case.plan, capture_errors=True
+    )
+    if ex.watchdog is not None:
         return FaultOutcome(
-            case,
-            OUTCOME_NONTERMINATION,
-            detail=str(e),
-            crashed=tuple(sorted(injector.crashed)),
+            case, OUTCOME_NONTERMINATION, detail=str(ex.watchdog), crashed=ex.crashed
         )
-    except Exception as e:  # noqa: BLE001 - classification is the point
+    if ex.error is not None:
         return FaultOutcome(
             case,
             OUTCOME_ERROR,
-            detail=f"{type(e).__name__}: {e}",
-            crashed=tuple(sorted(injector.crashed)),
+            detail=f"{type(ex.error).__name__}: {ex.error}",
+            crashed=ex.crashed,
         )
 
-    alive = _alive_of(g, injector.crashed)
     try:
-        check(g, res, alive)
+        check(g, ex.result, ex.alive(g))
     except VerificationError as e:
         return FaultOutcome(
-            case,
-            OUTCOME_VIOLATION,
-            detail=str(e),
-            crashed=tuple(sorted(injector.crashed)),
+            case, OUTCOME_VIOLATION, detail=str(e), crashed=ex.crashed
         )
     return FaultOutcome(
         case,
         OUTCOME_VALID,
-        crashed=tuple(sorted(injector.crashed)),
-        worst_rounds=res.metrics.worst_case,
+        crashed=ex.crashed,
+        worst_rounds=ex.result.metrics.worst_case,
     )
 
 

@@ -14,11 +14,14 @@ communication round (see :mod:`repro.runtime.program`).
 
 from repro.runtime.context import Context, RouterState
 from repro.runtime.network import (
+    ENGINES,
     MaxRoundsExceeded,
     RoundLimitExceeded,
     RunResult,
     SyncNetwork,
+    current_engine,
     default_max_rounds,
+    engine_session,
 )
 from repro.runtime.metrics import RoundMetrics
 from repro.runtime.program import wait_rounds, wait_until_round
@@ -27,6 +30,7 @@ from repro.runtime.trace import Trace, TraceRecorder
 
 __all__ = [
     "Context",
+    "ENGINES",
     "MaxRoundsExceeded",
     "ReferenceSyncNetwork",
     "RoundLimitExceeded",
@@ -36,7 +40,9 @@ __all__ = [
     "SyncNetwork",
     "Trace",
     "TraceRecorder",
+    "current_engine",
     "default_max_rounds",
+    "engine_session",
     "wait_rounds",
     "wait_until_round",
 ]

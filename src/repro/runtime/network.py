@@ -77,6 +77,53 @@ from repro.runtime.metrics import RoundMetrics
 
 ProgramFactory = Callable[[Context], Generator[None, None, Any]]
 
+# ---------------------------------------------------------------------------
+# engine selection
+# ---------------------------------------------------------------------------
+
+#: the selectable round engines: the throughput-optimised fast path and
+#: the executable-specification reference implementation
+ENGINES = ("fast", "reference")
+
+#: process-wide engine override stack (see :func:`engine_session`)
+_ENGINE_STACK: list[str] = []
+
+
+def current_engine() -> str:
+    """The engine new :class:`SyncNetwork` runs will use: ``"fast"``
+    unless an :func:`engine_session` override is active."""
+    return _ENGINE_STACK[-1] if _ENGINE_STACK else "fast"
+
+
+class engine_session:
+    """Context manager selecting the round engine for enclosed runs.
+
+    Drivers construct their networks internally (``SyncNetwork(g, ...)``)
+    so callers cannot pass an engine explicitly; this is the same
+    process-wide-session seam :func:`repro.obs.session` and
+    :func:`repro.faults.session` use.  Inside
+    ``engine_session("reference")`` every ``SyncNetwork.run`` executes on
+    the reference engine (:class:`repro.runtime.reference
+    .ReferenceSyncNetwork`) instead of the fast path; both produce
+    bit-identical results (the differential suite pins this), so the
+    override changes *how* the rounds are simulated, never what they
+    compute.  Sessions nest; the innermost wins.
+    """
+
+    def __init__(self, engine: str) -> None:
+        if engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}; expected one of {ENGINES}"
+            )
+        self.engine = engine
+
+    def __enter__(self) -> "engine_session":
+        _ENGINE_STACK.append(self.engine)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        _ENGINE_STACK.pop()
+
 
 @dataclass(frozen=True)
 class RunResult:
@@ -292,7 +339,18 @@ class SyncNetwork:
         (:class:`repro.faults.FaultPlan` or a live injector); when omitted
         the process-wide default (``repro.faults.session``) is used, and
         when neither exists the run is entirely fault-free.
+
+        An active :func:`engine_session` override redirects the run to
+        the selected engine (``ReferenceSyncNetwork`` only overrides
+        ``run``, so invoking its implementation on this instance is the
+        whole delegation).
         """
+        if type(self) is SyncNetwork and current_engine() == "reference":
+            from repro.runtime.reference import ReferenceSyncNetwork
+
+            return ReferenceSyncNetwork.run(
+                self, program, max_rounds, collect_messages, bus, faults
+            )
         g = self.graph
         n = g.n
         if max_rounds is None:

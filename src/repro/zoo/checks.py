@@ -1,0 +1,159 @@
+"""Problem-kind keyed validation: full validators and survivor checks.
+
+Two check families, both selected by :attr:`AlgorithmSpec.problem` rather
+than per-algorithm wiring:
+
+* **Full validators** assert the complete problem definition (propriety
+  *and* maximality/completeness) on the whole graph and return a one-line
+  human summary.  These guard every fault-free ``repro run``.
+* **Survivor checks** assert only the *safety* half restricted to the
+  surviving (non-crashed) subgraph -- a crash adversary legitimately
+  destroys completeness (an MIS cannot stay maximal around a dead
+  vertex), so the fault harness checks proper coloring among survivors,
+  independence, matching disjointness, and the H-partition degree bound.
+  These moved here verbatim from ``repro.faults.harness``; the harness
+  now imports them through the registry.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro import verify
+from repro.verify import VerificationError
+
+# ---------------------------------------------------------------------------
+# full validators (fault-free runs): validate(g, res) -> summary line
+# ---------------------------------------------------------------------------
+
+def _validate_coloring(g, res) -> str:
+    verify.assert_proper_coloring(g, res.colors)
+    return f"proper coloring, {res.colors_used} colors (bound {res.palette_bound})"
+
+
+def _validate_mis(g, res) -> str:
+    verify.assert_maximal_independent_set(g, res.mis)
+    return f"maximal independent set, |I| = {len(res.mis)}"
+
+
+def _validate_matching(g, res) -> str:
+    verify.assert_maximal_matching(g, res.matching)
+    return f"maximal matching, |M| = {len(res.matching)}"
+
+
+def _validate_edge_coloring(g, res) -> str:
+    verify.assert_proper_edge_coloring(g, res.edge_colors)
+    return f"proper edge coloring, {res.colors_used} colors (bound {res.palette_bound})"
+
+
+def _validate_partition(g, res) -> str:
+    verify.assert_h_partition(g, res.h_index, res.A)
+    return f"H-partition into {res.num_sets} sets (A = {res.A})"
+
+
+#: problem kind -> full validator; the kind taxonomy is closed, so this
+#: table is total over PROBLEM_KINDS (pinned by tests/zoo)
+FULL_VALIDATORS: dict[str, Callable] = {
+    "coloring": _validate_coloring,
+    "mis": _validate_mis,
+    "matching": _validate_matching,
+    "edge-coloring": _validate_edge_coloring,
+    "partition": _validate_partition,
+}
+
+
+# ---------------------------------------------------------------------------
+# survivor-subgraph safety checks: check(g, res, alive) -> None | raise
+# ---------------------------------------------------------------------------
+
+def check_vertex_coloring(g, res, alive: set[int]) -> None:
+    colors = res.colors
+    for v in alive:
+        if v not in colors:
+            raise VerificationError(
+                f"surviving vertex {v} terminated without a color"
+            )
+    for u, v in g.edges():
+        if u in alive and v in alive and colors[u] == colors[v]:
+            raise VerificationError(
+                f"surviving neighbors {u} and {v} share color {colors[u]!r}"
+            )
+
+
+def check_partition(g, res, alive: set[int]) -> None:
+    for v in alive:
+        if v not in res.h_index:
+            raise VerificationError(
+                f"surviving vertex {v} terminated without an H-index"
+            )
+    verify.assert_h_partition(g, res.h_index, res.A, subset=alive)
+
+
+def check_mis(g, res, alive: set[int]) -> None:
+    mis = res.mis
+    for v in alive:
+        if v not in res.in_mis:
+            raise VerificationError(
+                f"surviving vertex {v} terminated without an MIS decision"
+            )
+    for u, v in g.edges():
+        if u in alive and v in alive and u in mis and v in mis:
+            raise VerificationError(
+                f"surviving MIS vertices {u} and {v} are adjacent"
+            )
+
+
+def check_matching(g, res, alive: set[int]) -> None:
+    seen: dict[int, tuple[int, int]] = {}
+    for e in res.matching:
+        u, v = e
+        if not g.has_edge(u, v):
+            raise VerificationError(f"matching edge {e} is not in G")
+        for x in (u, v):
+            if x in alive and x in seen:
+                raise VerificationError(
+                    f"surviving vertex {x} is matched twice: {seen[x]} and {e}"
+                )
+            seen[x] = e
+
+
+def check_edge_coloring(g, res, alive: set[int]) -> None:
+    from repro.graphs.graph import canonical_edge
+
+    ec = res.edge_colors
+    # adjacent survivor-survivor edges must have distinct colors
+    for v in alive:
+        by_color: dict[int, tuple[int, int]] = {}
+        for u in g.neighbors(v):
+            if u not in alive:
+                continue
+            e = canonical_edge(u, v)
+            c = ec.get(e)
+            if c is None:
+                raise VerificationError(f"surviving edge {e} has no color")
+            if c in by_color:
+                raise VerificationError(
+                    f"edges {by_color[c]} and {e} at surviving vertex {v} "
+                    f"share color {c}"
+                )
+            by_color[c] = e
+
+
+#: problem kind -> survivor-restricted safety check
+SURVIVOR_CHECKS: dict[str, Callable] = {
+    "coloring": check_vertex_coloring,
+    "mis": check_mis,
+    "matching": check_matching,
+    "edge-coloring": check_edge_coloring,
+    "partition": check_partition,
+}
+
+
+def full_validator(problem: str) -> Callable:
+    """The whole-graph validator for a problem kind."""
+    return FULL_VALIDATORS[problem]
+
+
+def survivor_check(problem: str) -> Callable:
+    """The survivor-subgraph safety check for a problem kind."""
+    return SURVIVOR_CHECKS[problem]

@@ -1,0 +1,188 @@
+"""The one execution seam: ``execute(spec, graph, ...)``.
+
+Before this module existed every caller re-wired the same concerns by
+hand: the CLI stacked ``obs.session`` / fault sessions / validator lookups
+around its lambda tables, the fault harness had its own copy, and bench
+scripts a third.  :func:`execute` threads all of it through one pipeline:
+
+* **engine selection** -- ``engine="fast"`` (default) or ``"reference"``
+  runs the driver under :func:`repro.runtime.engine_session`, so the
+  spec-driven path can replay any algorithm on the executable
+  specification engine without touching driver code;
+* **observability** -- ``trace`` records the run's typed event stream to
+  a JSONL file (``repro inspect`` reads it back), ``profile`` attaches a
+  :class:`repro.obs.PhaseProfiler`;
+* **fault injection** -- ``faults`` compiles a
+  :class:`repro.faults.FaultPlan` into a seeded injector for the run and
+  reports who crashed; the non-termination watchdog is caught and
+  surfaced as :attr:`Execution.watchdog` instead of a traceback;
+* **validation** -- :meth:`Execution.validate` picks the full validator
+  on clean runs and the survivor-restricted safety check under an active
+  fault plan, both keyed by the spec's problem kind.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.zoo.checks import full_validator, survivor_check
+from repro.zoo.registry import get
+from repro.zoo.spec import ENGINES, AlgorithmSpec
+
+
+@dataclass
+class Execution:
+    """What one :func:`execute` call produced."""
+
+    spec: AlgorithmSpec
+    engine: str
+    result: Any = None
+    crashed: tuple[int, ...] = ()
+    plan: Any = None  # the FaultPlan actually injected, or None
+    profiler: Any = None  # PhaseProfiler when profile=True
+    watchdog: Exception | None = None  # RoundLimitExceeded, if it fired
+    error: BaseException | None = None  # captured driver exception
+
+    @property
+    def completed(self) -> bool:
+        return self.watchdog is None and self.error is None
+
+    @property
+    def faulted(self) -> bool:
+        """Whether a non-empty fault plan was injected into the run."""
+        return self.plan is not None
+
+    def alive(self, g) -> set[int]:
+        """The surviving vertices of ``g`` under this execution."""
+        return set(g.vertices()) - set(self.crashed)
+
+    def validate(self, g) -> str:
+        """Validate the solution; returns a one-line summary.
+
+        Fault-free runs get the full problem validator; runs under an
+        active fault plan get the survivor-restricted safety check
+        (completeness around crashed vertices is legitimately lost).
+        Raises :class:`repro.verify.VerificationError` on failure and
+        ``RuntimeError`` when there is no result to validate.
+        """
+        if not self.completed:
+            raise RuntimeError(
+                f"cannot validate a run that did not complete "
+                f"({'watchdog fired' if self.watchdog else self.error})"
+            )
+        if not self.faulted:
+            return full_validator(self.spec.problem)(g, self.result)
+        alive = self.alive(g)
+        survivor_check(self.spec.problem)(g, self.result, alive)
+        return (
+            f"survivor-safety OK on {len(alive)}/{g.n} surviving vertices "
+            f"(crashed: {sorted(self.crashed) if self.crashed else 'none'})"
+        )
+
+
+def execute(
+    spec: AlgorithmSpec | str,
+    graph,
+    a: int | None = None,
+    ids: Sequence[int] | None = None,
+    seed: int = 0,
+    *,
+    baseline: bool = False,
+    engine: str = "fast",
+    faults=None,
+    trace: str | None = None,
+    trace_meta: dict | None = None,
+    profile: bool = False,
+    capture_errors: bool = False,
+) -> Execution:
+    """Run one registered algorithm through the unified pipeline.
+
+    Parameters
+    ----------
+    spec:
+        An :class:`AlgorithmSpec` or a registry name.
+    graph, a, ids, seed:
+        The uniform driver surface: instance, arboricity bound, ID
+        assignment (``None`` = identity), randomness seed.
+    baseline:
+        Run the spec's worst-case baseline driver instead of the
+        averaged algorithm.
+    engine:
+        ``"fast"`` (default) or ``"reference"`` -- selects the round
+        engine for every network the driver builds.
+    faults:
+        A :class:`repro.faults.FaultPlan` to inject (``None`` or an
+        empty plan = fault-free).
+    trace:
+        Path for a JSONL event trace (``repro inspect`` reads it).
+    trace_meta:
+        Extra metadata for the trace header (merged over the defaults).
+    profile:
+        Attach a per-phase engine profiler (``.profiler.report()``).
+    capture_errors:
+        Return driver exceptions on :attr:`Execution.error` instead of
+        raising (the fault harness classifies them as ``error``
+        outcomes).  The non-termination watchdog is always captured.
+    """
+    if isinstance(spec, str):
+        spec = get(spec)
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+
+    from repro import obs
+    from repro.runtime import RoundLimitExceeded, engine_session
+
+    driver = (spec.baseline if baseline else spec.driver)
+    if driver is None:
+        raise ValueError(f"spec {spec.name!r} declares no baseline")
+    run = driver.resolve()
+
+    plan = faults
+    if plan is not None and plan.empty:
+        plan = None
+
+    sinks = []
+    if trace:
+        meta = {
+            "algo": spec.name + (":baseline" if baseline else ""),
+            "engine": engine,
+            "n": graph.n,
+            "seed": seed,
+        }
+        meta.update(trace_meta or {})
+        sinks.append(obs.JsonlSink(trace, meta=meta))
+    profiler = obs.PhaseProfiler() if profile else None
+
+    ex = Execution(spec=spec, engine=engine, plan=plan, profiler=profiler)
+
+    def _drive():
+        injector = plan.injector() if plan is not None else None
+        try:
+            if injector is not None:
+                from repro import faults as flt
+
+                with flt.session(injector):
+                    ex.result = run(graph, a, ids, seed)
+            else:
+                ex.result = run(graph, a, ids, seed)
+        except RoundLimitExceeded as e:
+            ex.watchdog = e
+        except Exception as e:  # noqa: BLE001 - classification is the point
+            if not capture_errors:
+                raise
+            ex.error = e
+        finally:
+            if injector is not None:
+                ex.crashed = tuple(sorted(injector.crashed))
+
+    # Drivers build their networks internally, so both the engine
+    # override and the obs sinks ride process-wide sessions for the
+    # duration of this one call.
+    with engine_session(engine):
+        if sinks or profiler is not None:
+            with obs.session(*sinks, profiler=profiler):
+                _drive()
+        else:
+            _drive()
+    return ex

@@ -1,0 +1,175 @@
+"""Declarative algorithm specifications.
+
+An :class:`AlgorithmSpec` is the single registration point for one
+algorithm of the paper's zoo: which driver runs it, which problem it
+solves (and therefore which validator and survivor-safety check apply),
+which worst-case baseline it is compared against, and where it lives in
+the paper (Table 1/2 row, theorem reference).  The registry in
+:mod:`repro.zoo.registry` holds one spec per algorithm; every consumer --
+the CLI, the fault fuzzer, the bench tables, the test parametrizations --
+derives its view from the registry instead of keeping its own list.
+
+Drivers are referenced *by name* (attributes of the top-level ``repro``
+package) and resolved lazily: importing the full algorithm stack at spec
+definition time would recreate the import cycle the old
+``faults.harness.zoo()`` lazy dict existed to avoid
+(``repro -> runtime -> faults``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+#: the problem taxonomy of the paper's result tables (Table 1 is all
+#: vertex coloring; Table 2 is MIS / edge-coloring / matching; the
+#: H-partition of Section 6 underlies them all)
+PROBLEM_KINDS = ("coloring", "edge-coloring", "mis", "matching", "partition")
+
+#: engines `execute()` accepts (see repro.runtime.engine_session)
+ENGINES = ("fast", "reference")
+
+
+@dataclass(frozen=True)
+class PaperRow:
+    """Where an algorithm lives in the paper.
+
+    ``table`` is 1 or 2 for the headline result tables, ``None`` for
+    section-level results that the tables build on (Procedure Partition,
+    the intermediate colorings of Sections 7.3/7.4).  ``row`` is the
+    DESIGN.md experiment index (``T1.R5``) or a section reference
+    (``S6.1``); ``ref`` is the theorem/corollary the row reproduces.
+    """
+
+    row: str
+    label: str
+    ref: str
+    table: int | None = None
+
+    def cite(self) -> str:
+        """Short citable id: ``"T1.R5 (Theorem 7.13)"``."""
+        return f"{self.row} ({self.ref})"
+
+
+@dataclass(frozen=True)
+class DriverRef:
+    """A lazily-resolved reference to a driver callable.
+
+    ``func`` names an attribute of the top-level ``repro`` package;
+    ``params`` are frozen default kwargs (e.g. ``worstcase_schedule=True``
+    for the Table 2 baselines).  ``passes_a`` / ``passes_seed`` record
+    which of the uniform ``(graph, a, ids, seed)`` call surface the
+    underlying driver actually accepts.  ``fn`` bypasses the name lookup
+    (tests inject broken drivers through it).
+    """
+
+    func: str = ""
+    params: tuple[tuple[str, Any], ...] = ()
+    passes_a: bool = True
+    passes_seed: bool = False
+    fn: Callable | None = field(default=None, repr=False, compare=False)
+
+    @staticmethod
+    def make(
+        func: str = "",
+        params: Mapping[str, Any] | None = None,
+        passes_a: bool = True,
+        passes_seed: bool = False,
+        fn: Callable | None = None,
+    ) -> "DriverRef":
+        return DriverRef(
+            func=func,
+            params=tuple(sorted((params or {}).items())),
+            passes_a=passes_a,
+            passes_seed=passes_seed,
+            fn=fn,
+        )
+
+    def resolve(self) -> Callable:
+        """The uniform ``driver(graph, a, ids, seed)`` callable."""
+        if self.fn is not None:
+            target = self.fn
+        else:
+            import repro
+
+            try:
+                target = getattr(repro, self.func)
+            except AttributeError:
+                raise AttributeError(
+                    f"driver {self.func!r} is not exported from repro"
+                ) from None
+        extra = dict(self.params)
+        passes_a, passes_seed = self.passes_a, self.passes_seed
+
+        def driver(g, a, ids, seed):
+            kwargs = dict(extra)
+            if passes_a:
+                kwargs["a"] = a
+            if passes_seed:
+                kwargs["seed"] = seed
+            return target(g, ids=ids, **kwargs)
+
+        return driver
+
+
+@dataclass(frozen=True)
+class AlgorithmSpec:
+    """One declarative row of the algorithm zoo.
+
+    Fields
+    ------
+    name:
+        The CLI / fuzzer / bench name (kebab-case).
+    problem:
+        One of :data:`PROBLEM_KINDS`; selects the full validator and the
+        survivor-restricted safety check (see :mod:`repro.zoo.checks`).
+    driver:
+        The vertex-averaged algorithm itself.
+    baseline:
+        The worst-case-schedule driver the paper row compares against
+        (``None`` when the paper states no baseline; such specs are
+        excluded from ``repro compare``).
+    paper_row:
+        Table/row/theorem anchor (see :class:`PaperRow`).
+    randomized:
+        Whether the driver draws randomness (its seed matters).
+    crash_safe:
+        Whether the algorithm participates in crash-stop fault fuzzing:
+        survivor-subgraph safety is expected to hold under any crash-only
+        plan (the ``repro fuzz --smoke`` CI gate).  All current specs
+        are crash-safe; the flag exists so a future algorithm with
+        documented crash-unsafety can opt out *visibly*.
+    """
+
+    name: str
+    problem: str
+    driver: DriverRef
+    baseline: DriverRef | None = None
+    paper_row: PaperRow | None = None
+    randomized: bool = False
+    crash_safe: bool = True
+
+    def __post_init__(self) -> None:
+        if self.problem not in PROBLEM_KINDS:
+            raise ValueError(
+                f"unknown problem kind {self.problem!r} for spec "
+                f"{self.name!r}; expected one of {PROBLEM_KINDS}"
+            )
+
+    @property
+    def has_baseline(self) -> bool:
+        return self.baseline is not None
+
+    def run(self, g, a, ids: Sequence[int] | None, seed: int):
+        """Run the averaged driver on the uniform call surface."""
+        return self.driver.resolve()(g, a, ids, seed)
+
+    def run_baseline(self, g, a, ids: Sequence[int] | None, seed: int):
+        """Run the worst-case baseline driver."""
+        if self.baseline is None:
+            raise ValueError(f"spec {self.name!r} declares no baseline")
+        return self.baseline.resolve()(g, a, ids, seed)
+
+    def describe_row(self) -> str:
+        """The paper anchor, or ``-`` when the spec has none."""
+        return self.paper_row.cite() if self.paper_row else "-"

@@ -19,7 +19,7 @@ from repro.faults import (
     shrink_case,
     write_artifact,
 )
-from repro.faults.harness import zoo
+from repro import zoo
 from repro.verify import VerificationError
 
 
@@ -65,23 +65,26 @@ class TestClassification:
         assert out.failed
 
     def test_driver_exception_is_an_error(self):
-        def explode(g, res, alive):  # pragma: no cover - never called
-            raise AssertionError
-
         case = _case(algorithm="nope")
         with pytest.raises(KeyError):
             run_case(case)
         # an exception *inside* the driver classifies as error
         bad_plan = FaultPlan(seed=1, crashes=CrashSpec(at={0: 1}))
 
-        def chokes(g, a, ids, s):
+        def chokes(g, ids=None, a=None):
             raise RuntimeError("driver cannot digest the crash")
 
-        zoo()["_chokes"] = (chokes, explode)
+        zoo.register(
+            zoo.AlgorithmSpec(
+                name="_chokes",
+                problem="coloring",
+                driver=zoo.DriverRef.make(fn=chokes),
+            )
+        )
         try:
             out = run_case(_case(algorithm="_chokes", plan=bad_plan))
         finally:
-            del zoo()["_chokes"]
+            zoo.unregister("_chokes")
         assert out.status == OUTCOME_ERROR
         assert "driver cannot digest" in out.detail
         assert out.failed
@@ -94,37 +97,49 @@ class TestClassification:
         out = run_case(_case(algorithm=algorithm, n=30))
         assert out.status == OUTCOME_VALID
 
+    @pytest.mark.parametrize(
+        "algorithm", ["ka2", "one-plus-eta", "aloglogn"]
+    )
+    def test_previously_unfuzzed_algorithms_are_covered(self, algorithm):
+        """Regression: these three were in the CLI but absent from the old
+        hand-maintained ``_ZOO`` dict, so they were never fuzzed."""
+        assert algorithm in {s.name for s in zoo.crash_safe()}
+        plan = FaultPlan(seed=11, crashes=CrashSpec(hazard=0.01))
+        out = run_case(_case(algorithm=algorithm, n=24, plan=plan))
+        # crash-only plans must never yield a safety violation
+        assert out.status != OUTCOME_VIOLATION
+
 
 class TestSurvivorChecks:
     def test_coloring_check_restricted_to_survivors(self):
         import repro
         from repro.bench.workloads import make_workload
-        from repro.faults.harness import _check_vertex_coloring
         from repro.graphs import generators as gen
+        from repro.zoo.checks import check_vertex_coloring
 
         g, a = make_workload("forest_union_a3")(40, seed=0)
         res = repro.run_a2_coloring(g, a=a, ids=gen.random_ids(g.n, seed=1))
-        _check_vertex_coloring(g, res, set(g.vertices()))
+        check_vertex_coloring(g, res, set(g.vertices()))
         # corrupt one vertex's color: full check fails, survivor check
         # with that vertex dead passes
         u, v = next(iter(g.edges()))
         res.colors[u] = res.colors[v]
         with pytest.raises(VerificationError):
-            _check_vertex_coloring(g, res, set(g.vertices()))
-        _check_vertex_coloring(g, res, set(g.vertices()) - {u})
+            check_vertex_coloring(g, res, set(g.vertices()))
+        check_vertex_coloring(g, res, set(g.vertices()) - {u})
 
     def test_missing_survivor_output_is_a_violation(self):
         import repro
         from repro.bench.workloads import make_workload
-        from repro.faults.harness import _check_mis
         from repro.graphs import generators as gen
+        from repro.zoo.checks import check_mis
 
         g, a = make_workload("forest_union_a2")(30, seed=0)
         res = repro.run_mis(g, a=a, ids=gen.random_ids(g.n, seed=1))
         del res.in_mis[5]
         with pytest.raises(VerificationError, match="without an MIS decision"):
-            _check_mis(g, res, set(g.vertices()))
-        _check_mis(g, res, set(g.vertices()) - {5})  # dead vertices exempt
+            check_mis(g, res, set(g.vertices()))
+        check_mis(g, res, set(g.vertices()) - {5})  # dead vertices exempt
 
 
 class TestShrinking:

@@ -4,7 +4,8 @@ import io
 
 import pytest
 
-from repro.cli import ALGORITHMS, BASELINES, build_parser, cmd_compare, cmd_list, cmd_run, main
+from repro import zoo
+from repro.cli import build_parser, cmd_compare, cmd_list, cmd_run, main
 
 
 def test_list(capsys):
@@ -12,6 +13,24 @@ def test_list(capsys):
     out = capsys.readouterr().out
     assert "algorithms:" in out and "workloads:" in out
     assert "mis" in out and "forest_union_a3" in out
+
+
+def test_list_shows_registry_metadata(capsys):
+    """`repro list` is registry-driven: problem kind, paper row and
+    baseline presence appear for every algorithm."""
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for spec in zoo.all_specs():
+        assert spec.name in out
+    assert "paper row" in out
+    assert "T2.R1" in out  # mis row anchor
+    assert "rand" in out  # randomized flag column
+
+
+def test_list_check_gate(capsys):
+    assert main(["list", "--check"]) == 0
+    out = capsys.readouterr().out
+    assert "registry consistent" in out
 
 
 @pytest.mark.parametrize("algo", ["partition", "a2logn", "mis", "matching"])
@@ -45,8 +64,18 @@ def test_missing_command_rejected():
         build_parser().parse_args([])
 
 
-def test_every_baseline_key_is_an_algorithm():
-    assert set(BASELINES) <= set(ALGORITHMS)
+def test_compare_choices_are_registry_baselines():
+    """The `compare` subcommand only offers specs that declare a baseline."""
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["compare", "one-plus-eta"])  # no baseline
+    args = build_parser().parse_args(["compare", "a2logn"])
+    assert args.algorithm == "a2logn"
+
+
+def test_run_choices_equal_registry_names():
+    parser = build_parser()
+    args = parser.parse_args(["run", "ka2"])  # registered but formerly unfuzzed
+    assert args.algorithm == "ka2"
 
 
 def test_run_trace_out_then_inspect(tmp_path, capsys):

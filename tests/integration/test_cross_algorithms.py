@@ -18,16 +18,14 @@ def workload():
     return gen.union_of_forests(500, 3, seed=42)
 
 
+# every registered coloring spec, via the registry (new registrations are
+# covered automatically), plus the unregistered Legal-Coloring subroutine
+from repro import zoo
+
 ALL_COLORINGS = [
-    ("a2logn", lambda g: repro.run_a2logn_coloring(g, a=3)),
-    ("a2", lambda g: repro.run_a2_coloring(g, a=3)),
-    ("oa", lambda g: repro.run_oa_coloring(g, a=3)),
-    ("ka2", lambda g: repro.run_ka2_coloring(g, a=3, k=2)),
-    ("ka", lambda g: repro.run_ka_coloring(g, a=3, k=2)),
-    ("one_plus_eta", lambda g: repro.run_one_plus_eta_coloring(g, a=3, C=3)),
-    ("delta_plus_one", lambda g: repro.run_delta_plus_one_coloring(g, a=3)),
-    ("rand_delta_plus_one", lambda g: repro.run_rand_delta_plus_one(g, seed=1)),
-    ("aloglogn", lambda g: repro.run_aloglogn_coloring(g, a=3, seed=1)),
+    (spec.name, lambda g, s=spec: s.run(g, 3, None, 1))
+    for spec in zoo.by_problem("coloring")
+] + [
     ("legal", lambda g: repro.run_legal_coloring(g, a=3, p=4)),
 ]
 

@@ -1,0 +1,92 @@
+"""The process-wide engine session: `engine_session` / `current_engine`.
+
+Drivers construct their networks internally, so `zoo.execute` cannot pass
+an engine down the call stack; instead `SyncNetwork.run` consults the
+session stack and delegates to the reference engine when one is active.
+These tests pin the stack semantics and the delegation itself.
+"""
+
+import pytest
+
+from repro.bench.workloads import make_workload
+from repro.graphs import generators as gen
+from repro.runtime import ENGINES, current_engine, engine_session
+from repro.runtime.network import SyncNetwork
+from repro.runtime.reference import ReferenceSyncNetwork
+
+
+def prog_beat(ctx):
+    for r in range(3):
+        ctx.broadcast(("beat", ctx.id, r))
+        yield
+    return (ctx.id, sum(len(m) for m in ctx.inbox.values()))
+
+
+def _instance(n=80, seed=0):
+    g, _a = make_workload("forest_union_a3")(n, seed=seed)
+    ids = gen.random_ids(g.n, seed=1000 + seed)
+    return g, ids
+
+
+class TestSessionStack:
+    def test_default_engine_is_fast(self):
+        assert current_engine() == "fast"
+
+    def test_session_sets_and_restores(self):
+        with engine_session("reference"):
+            assert current_engine() == "reference"
+        assert current_engine() == "fast"
+
+    def test_sessions_nest(self):
+        with engine_session("reference"):
+            with engine_session("fast"):
+                assert current_engine() == "fast"
+            assert current_engine() == "reference"
+
+    def test_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with engine_session("reference"):
+                raise RuntimeError("boom")
+        assert current_engine() == "fast"
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="engine"):
+            engine_session("turbo")
+
+    def test_engines_constant(self):
+        assert ENGINES == ("fast", "reference")
+
+
+class TestDelegation:
+    def test_fast_network_delegates_to_reference_under_session(self):
+        """A SyncNetwork run inside engine_session('reference') must be
+        bit-identical to running ReferenceSyncNetwork directly."""
+        g, ids = _instance()
+        direct = ReferenceSyncNetwork(g, ids=ids, seed=0).run(prog_beat)
+        with engine_session("reference"):
+            via_session = SyncNetwork(g, ids=ids, seed=0).run(prog_beat)
+        assert via_session.outputs == direct.outputs
+        assert via_session.metrics.rounds == direct.metrics.rounds
+        assert (
+            via_session.metrics.messages_per_round
+            == direct.metrics.messages_per_round
+        )
+
+    def test_reference_subclass_is_not_redirected(self):
+        """The delegation guard is `type(self) is SyncNetwork`: an explicit
+        ReferenceSyncNetwork must not recurse through itself."""
+        g, ids = _instance(n=40)
+        with engine_session("reference"):
+            res = ReferenceSyncNetwork(g, ids=ids, seed=0).run(prog_beat)
+        assert res.metrics.worst_case > 0
+
+    def test_full_driver_agrees_across_engines(self):
+        import repro
+
+        g, ids = _instance(n=120)
+        fast = repro.run_a2_coloring(g, a=3, ids=ids)
+        with engine_session("reference"):
+            ref = repro.run_a2_coloring(g, a=3, ids=ids)
+        assert fast.colors == ref.colors
+        assert fast.metrics.worst_case == ref.metrics.worst_case
+        assert fast.metrics.vertex_averaged == ref.metrics.vertex_averaged

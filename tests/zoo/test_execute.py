@@ -1,0 +1,167 @@
+"""The unified `zoo.execute` pipeline: engines, faults, obs, validation."""
+
+import json
+
+import pytest
+
+from repro import zoo
+from repro.bench.workloads import make_workload
+from repro.faults import CrashSpec, FaultPlan
+from repro.graphs import generators as gen
+from repro.verify import VerificationError
+
+
+def _instance(n=60, seed=0, workload="forest_union_a3"):
+    g, a = make_workload(workload)(n, seed=seed)
+    ids = gen.random_ids(g.n, seed=1000 + seed)
+    return g, a, ids
+
+
+class TestBasics:
+    def test_execute_by_name_and_by_spec_agree(self):
+        g, a, ids = _instance()
+        by_name = zoo.execute("a2", g, a, ids, 0)
+        by_spec = zoo.execute(zoo.get("a2"), g, a, ids, 0)
+        assert by_name.result.colors == by_spec.result.colors
+        assert by_name.completed and not by_name.faulted
+
+    def test_clean_run_validates_with_full_validator(self):
+        g, a, ids = _instance()
+        ex = zoo.execute("mis", g, a, ids, 0)
+        summary = ex.validate(g)
+        assert isinstance(summary, str) and summary
+
+    @pytest.mark.parametrize("name", [s.name for s in zoo.all_specs()])
+    def test_every_registered_algorithm_executes_and_validates(self, name):
+        g, a, ids = _instance(n=40)
+        ex = zoo.execute(name, g, a, ids, 0)
+        assert ex.completed
+        ex.validate(g)
+
+    def test_baseline_execution(self):
+        g, a, ids = _instance(n=40)
+        ex = zoo.execute("partition", g, a, ids, 0, baseline=True)
+        assert ex.completed
+        assert ex.result.metrics.worst_case > 0
+
+    def test_baselineless_spec_rejects_baseline(self):
+        g, a, ids = _instance(n=24)
+        with pytest.raises(ValueError, match="no baseline"):
+            zoo.execute("one-plus-eta", g, a, ids, 0, baseline=True)
+
+    def test_unknown_engine_rejected(self):
+        g, a, ids = _instance(n=24)
+        with pytest.raises(ValueError, match="engine"):
+            zoo.execute("a2", g, a, ids, 0, engine="turbo")
+
+    def test_unknown_name_rejected(self):
+        g, a, ids = _instance(n=24)
+        with pytest.raises(KeyError, match="known:"):
+            zoo.execute("nonsense", g, a, ids, 0)
+
+
+_PAYLOAD = {
+    "coloring": lambda r: r.colors,
+    "edge-coloring": lambda r: r.edge_colors,
+    "mis": lambda r: sorted(r.mis),
+    "matching": lambda r: sorted(r.matching),
+    "partition": lambda r: r.h_index,
+}
+
+
+class TestEngines:
+    @pytest.mark.parametrize("name", ["a2", "mis", "partition", "matching"])
+    def test_engines_agree_through_execute(self, name):
+        g, a, ids = _instance(n=80)
+        fast = zoo.execute(name, g, a, ids, 0, engine="fast")
+        ref = zoo.execute(name, g, a, ids, 0, engine="reference")
+        payload = _PAYLOAD[zoo.get(name).problem]
+        assert payload(fast.result) == payload(ref.result)
+        assert (
+            fast.result.metrics.worst_case == ref.result.metrics.worst_case
+        )
+        assert fast.engine == "fast" and ref.engine == "reference"
+
+
+class TestFaults:
+    def test_empty_plan_counts_as_fault_free(self):
+        g, a, ids = _instance(n=40)
+        ex = zoo.execute("partition", g, a, ids, 0, faults=FaultPlan())
+        assert not ex.faulted
+        assert ex.plan is None
+
+    def test_crash_plan_reports_crashed_and_survivor_validates(self):
+        g, a, ids = _instance(n=60)
+        plan = FaultPlan(seed=9, crashes=CrashSpec(hazard=0.02))
+        ex = zoo.execute("partition", g, a, ids, 0, faults=plan)
+        assert ex.faulted
+        assert ex.crashed  # this seed does crash vertices
+        summary = ex.validate(g)
+        assert "survivor-safety OK" in summary
+        assert ex.alive(g) == set(g.vertices()) - set(ex.crashed)
+
+    def test_watchdog_is_always_captured(self):
+        # a crashed MIS participant leaves neighbors waiting forever
+        g, a, ids = _instance(n=40, seed=5, workload="gnp_sparse")
+        plan = FaultPlan(seed=2, crashes=CrashSpec(at={3: 2, 7: 1}))
+        ex = zoo.execute("mis", g, a, ids, 5, faults=plan)
+        assert ex.watchdog is not None
+        assert not ex.completed
+        with pytest.raises(RuntimeError, match="did not complete"):
+            ex.validate(g)
+
+
+class TestErrors:
+    def _broken_spec(self):
+        def chokes(g, ids=None, a=None):
+            raise RuntimeError("deliberate")
+
+        return zoo.AlgorithmSpec(
+            name="_broken",
+            problem="coloring",
+            driver=zoo.DriverRef.make(fn=chokes),
+        )
+
+    def test_errors_raise_by_default(self):
+        g, a, ids = _instance(n=24)
+        with pytest.raises(RuntimeError, match="deliberate"):
+            zoo.execute(self._broken_spec(), g, a, ids, 0)
+
+    def test_capture_errors_returns_them(self):
+        g, a, ids = _instance(n=24)
+        ex = zoo.execute(
+            self._broken_spec(), g, a, ids, 0, capture_errors=True
+        )
+        assert isinstance(ex.error, RuntimeError)
+        assert not ex.completed
+
+
+class TestObs:
+    def test_trace_written_with_registry_meta(self, tmp_path):
+        g, a, ids = _instance(n=40)
+        path = str(tmp_path / "run.jsonl")
+        ex = zoo.execute(
+            "a2", g, a, ids, 0, trace=path, trace_meta={"extra": "x"}
+        )
+        assert ex.completed
+        with open(path) as fh:
+            head = json.loads(fh.readline())
+        meta = head.get("meta", head)
+        assert meta["algo"] == "a2"
+        assert meta["engine"] == "fast"
+        assert meta["extra"] == "x"
+
+    def test_profile_attaches_phase_profiler(self):
+        g, a, ids = _instance(n=40)
+        ex = zoo.execute("mis", g, a, ids, 0, profile=True)
+        assert ex.profiler is not None
+        report = ex.profiler.report()
+        assert "step" in report
+
+    def test_validation_failure_propagates(self):
+        g, a, ids = _instance(n=40)
+        ex = zoo.execute("a2", g, a, ids, 0)
+        u, v = next(iter(g.edges()))
+        ex.result.colors[u] = ex.result.colors[v]
+        with pytest.raises(VerificationError):
+            ex.validate(g)
