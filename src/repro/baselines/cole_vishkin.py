@@ -25,7 +25,7 @@ from repro.core.coloring import ColoringResult
 from repro.core.common import LocalView
 from repro.graphs.graph import Graph
 from repro.runtime.context import Context
-from repro.runtime.network import SyncNetwork
+from repro.runtime.network import SyncNetwork, current_engine
 
 
 def _cv_steps(id_space: int) -> int:
@@ -66,6 +66,10 @@ def run_ring_three_coloring(
     for v in range(n):
         if not graph.has_edge(v, successor[v]):
             raise ValueError(f"successor[{v}] = {successor[v]} is not a neighbor")
+    if current_engine() == "bulk":
+        from repro.core.bulk import bulk_ring_three_coloring
+
+        return bulk_ring_three_coloring(graph, successor, ids=ids, seed=seed)
 
     def program(ctx: Context):
         succ = ctx.config["successor"][ctx.v]

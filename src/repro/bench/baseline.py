@@ -6,11 +6,15 @@ records steps/s, msgs/s and wall-clock per sweep point in
 ``BENCH_kernel.json`` at the repo root, so every future PR inherits a perf
 trajectory and a regression gate.
 
-Raw steps/s is machine-dependent, so the committed file stores *both*
-engines' numbers: the throughput-optimised :class:`SyncNetwork` ("fast")
-and the specification engine :class:`ReferenceSyncNetwork` ("reference").
-The regression gate compares the fast/reference *speedup ratio*, which is
-stable across machines: a change that slows the fast path shows up as a
+Raw steps/s is machine-dependent, so the committed file stores *all three*
+engines' numbers: the throughput-optimised :class:`SyncNetwork` ("fast"),
+the specification engine :class:`ReferenceSyncNetwork` ("reference"), and
+the columnar bulk engine (:func:`repro.runtime.bulk_broadcast_kernel`,
+measured on the same workload plus an extra large-n point).  The
+regression gate compares *speedup ratios*, which are stable across
+machines: fast/reference on steps/s, and bulk/fast on msgs/s (the bulk
+engine has no per-vertex steps; delivered messages are the common
+currency).  A change that slows either optimised path shows up as a
 falling ratio no matter the hardware.
 
 The file also records the *null-sink instrumentation overhead*: the fast
@@ -44,6 +48,12 @@ BROADCAST_ROUNDS = 10
 #: fail the gate when the fast/reference speedup falls below
 #: ``(1 - MAX_REGRESSION)`` of the recorded one
 MAX_REGRESSION = 0.30
+#: best-of repeats for the CLI write/check paths.  Single-sample walls at
+#: small n are bimodal under CPU frequency scaling (observed ~40% swing
+#: at n=2000), so a lone fast-engine sample paired with a lucky
+#: reference sample can push the ratio through the regression floor on a
+#: healthy machine; best-of-3 per cell makes the ratio reproducible
+CLI_REPEATS = 3
 #: the instrumentation guard: attaching an EventBus whose only sink is a
 #: NullSink must keep the fast engine within this percentage of the
 #: uninstrumented wall-clock
@@ -52,10 +62,18 @@ MAX_NULL_SINK_OVERHEAD_PCT = 5.0
 #: per-call branch cost, if any, dominates noise)
 OVERHEAD_N = 8000
 
+#: the extra sweep point the bulk engine is measured at (cheap for the
+#: columnar path, prohibitive for the coroutine engines)
+BULK_N = 100_000
+
 ENGINES: dict[str, type[SyncNetwork]] = {
     "fast": SyncNetwork,
     "reference": ReferenceSyncNetwork,
 }
+
+#: every engine :func:`measure_engine` accepts; "bulk" runs the columnar
+#: kernel function, not a :class:`SyncNetwork` subclass
+ENGINE_NAMES = tuple(ENGINES) + ("bulk",)
 
 
 def default_path() -> str:
@@ -82,9 +100,29 @@ def measure_engine(
     rounds: int = BROADCAST_ROUNDS,
     repeats: int = 1,
 ) -> list[dict[str, Any]]:
-    """Time one engine over the kernel workload; best-of-``repeats``."""
-    cls = ENGINES[engine]
-    program = broadcast_program(rounds)
+    """Time one engine over the kernel workload; best-of-``repeats``.
+
+    ``"bulk"`` times :func:`repro.runtime.bulk_broadcast_kernel` -- the
+    columnar twin of the broadcast program, bit-identical in its
+    accounting -- rather than a network class.
+    """
+    if engine == "bulk":
+        from repro.runtime.bulk import bulk_broadcast_kernel
+
+        def run_once(g):
+            return bulk_broadcast_kernel(g, rounds=rounds)
+
+    elif engine in ENGINES:
+        cls = ENGINES[engine]
+        program = broadcast_program(rounds)
+
+        def run_once(g):
+            return cls(g).run(program)
+
+    else:
+        raise ValueError(
+            f"unknown engine {engine!r}; expected one of {ENGINE_NAMES}"
+        )
     points = []
     for n in ns:
         g = gen.union_of_forests(n, 3, seed=0)
@@ -92,7 +130,7 @@ def measure_engine(
         best = None
         for _ in range(max(1, repeats)):
             t0 = time.perf_counter()
-            res = cls(g).run(program)
+            res = run_once(g)
             wall = time.perf_counter() - t0
             if best is None or wall < best[0]:
                 best = (wall, res)
@@ -189,9 +227,17 @@ def measure_kernel(
     ns: Sequence[int] = DEFAULT_NS,
     rounds: int = BROADCAST_ROUNDS,
     repeats: int = 1,
+    bulk_ns: Sequence[int] | None = None,
 ) -> dict[str, Any]:
-    """Measure both engines and derive the per-point speedup ratios,
-    plus the null-sink instrumentation overhead."""
+    """Measure all three engines and derive the per-point speedup ratios,
+    plus the null-sink instrumentation overhead.
+
+    The bulk engine is swept over ``bulk_ns`` (default: ``ns`` plus the
+    :data:`BULK_N` large-n point that only the columnar path can afford);
+    ``bulk_speedup`` compares msgs/s on the points shared with the fast
+    engine."""
+    if bulk_ns is None:
+        bulk_ns = tuple(ns) + (BULK_N,)
     result: dict[str, Any] = {
         "workload": f"union_of_forests(n, 3) x {rounds}-round broadcast",
         "engines": {
@@ -199,11 +245,20 @@ def measure_kernel(
             for name in ENGINES
         },
     }
+    result["engines"]["bulk"] = measure_engine(
+        "bulk", ns=bulk_ns, rounds=rounds, repeats=repeats
+    )
     fast = result["engines"]["fast"]
     ref = result["engines"]["reference"]
     result["speedup"] = {
         str(f["n"]): round(f["steps_per_s"] / r["steps_per_s"], 2)
         for f, r in zip(fast, ref)
+    }
+    bulk_by_n = {p["n"]: p for p in result["engines"]["bulk"]}
+    result["bulk_speedup"] = {
+        str(f["n"]): round(bulk_by_n[f["n"]]["msgs_per_s"] / f["msgs_per_s"], 2)
+        for f in fast
+        if f["n"] in bulk_by_n
     }
     result["null_sink_overhead"] = measure_null_sink_overhead(
         rounds=rounds, repeats=max(9, repeats)
@@ -226,6 +281,24 @@ def load_baseline(path: str | None = None) -> dict[str, Any]:
         return json.load(fh)
 
 
+def engine_points(data: dict[str, Any], engine: str) -> list[dict[str, Any]]:
+    """The recorded sweep points for ``engine`` in a baseline dict.
+
+    Raises a clear ``ValueError`` -- never a bare ``KeyError`` -- when
+    the file predates the engine (e.g. a ``BENCH_kernel.json`` written
+    before the bulk engine existed), telling the caller how to fix it.
+    """
+    engines = data.get("engines") or {}
+    if engine not in engines:
+        recorded = ", ".join(sorted(engines)) or "<none>"
+        raise ValueError(
+            f"baseline file has no {engine!r} engine entry "
+            f"(recorded engines: {recorded}); re-run "
+            f"`python -m repro.bench.baseline --write` to refresh it"
+        )
+    return engines[engine]
+
+
 def compare_to_baseline(
     current: dict[str, Any],
     baseline: dict[str, Any],
@@ -235,7 +308,11 @@ def compare_to_baseline(
 
     Compares the fast/reference speedup ratio per sweep point against the
     recorded one (machine-independent), and additionally requires the fast
-    engine to actually be faster than the reference engine.
+    engine to actually be faster than the reference engine.  When the
+    current measurement carries bulk numbers, the bulk/fast msgs/s ratio
+    is gated the same way (and must clear x1.0 outright), the recorded
+    file must have a bulk entry at all (clear error, not a ``KeyError``),
+    and the current sweep must include the :data:`BULK_N` cell CI watches.
     """
     problems = []
     recorded = baseline.get("speedup", {})
@@ -253,6 +330,37 @@ def compare_to_baseline(
             problems.append(
                 f"n={key}: speedup regressed to x{cur_ratio:.2f} "
                 f"(recorded x{base_ratio:.2f}, floor x{floor:.2f})"
+            )
+    cur_bulk = current.get("bulk_speedup")
+    if cur_bulk is not None:
+        recorded_bulk = baseline.get("bulk_speedup")
+        if recorded_bulk is None:
+            try:
+                engine_points(baseline, "bulk")
+            except ValueError as exc:
+                problems.append(str(exc))
+            recorded_bulk = {}
+        for key, cur_ratio in cur_bulk.items():
+            if cur_ratio < 1.0:
+                problems.append(
+                    f"n={key}: bulk engine is slower than the fast engine "
+                    f"(msgs/s ratio x{cur_ratio:.2f})"
+                )
+            base_ratio = recorded_bulk.get(key)
+            if base_ratio is None:
+                continue
+            floor = base_ratio * (1.0 - max_regression)
+            if cur_ratio < floor:
+                problems.append(
+                    f"n={key}: bulk/fast msgs/s ratio regressed to "
+                    f"x{cur_ratio:.2f} (recorded x{base_ratio:.2f}, "
+                    f"floor x{floor:.2f})"
+                )
+        cur_bulk_ns = {p["n"] for p in current.get("engines", {}).get("bulk", ())}
+        if cur_bulk_ns and BULK_N not in cur_bulk_ns:
+            problems.append(
+                f"bulk sweep is missing the n={BULK_N} throughput cell "
+                f"(measured: {sorted(cur_bulk_ns)})"
             )
     overhead = current.get("null_sink_overhead")
     if overhead is not None:
@@ -281,7 +389,13 @@ def main(argv: Sequence[str] | None = None) -> int:
         action="store_true",
         help=f"small-n smoke sweep {QUICK_NS} (for CI)",
     )
-    ap.add_argument("--repeats", type=int, default=1)
+    ap.add_argument(
+        "--repeats",
+        type=int,
+        default=CLI_REPEATS,
+        help="best-of repeats per sweep cell (default %(default)s; "
+        "single samples are too noisy to gate on at small n)",
+    )
     args = ap.parse_args(argv)
     ns = QUICK_NS if args.quick else DEFAULT_NS
 
@@ -300,6 +414,18 @@ def main(argv: Sequence[str] | None = None) -> int:
             rec = baseline.get("speedup", {}).get(key)
             rec_s = f" (recorded x{rec:.2f})" if rec is not None else ""
             print(f"n={key}: fast/reference speedup x{ratio:.2f}{rec_s}")
+        for key, ratio in sorted(
+            current["bulk_speedup"].items(), key=lambda kv: int(kv[0])
+        ):
+            rec = baseline.get("bulk_speedup", {}).get(key)
+            rec_s = f" (recorded x{rec:.2f})" if rec is not None else ""
+            print(f"n={key}: bulk/fast msgs/s x{ratio:.2f}{rec_s}")
+        for point in current["engines"]["bulk"]:
+            if point["n"] == BULK_N:
+                print(
+                    f"n={BULK_N}: bulk {point['msgs_per_s']:,.0f} msgs/s "
+                    f"({point['wall_s']}s wall)"
+                )
         overhead = current.get("null_sink_overhead", {})
         if overhead:
             print(

@@ -63,8 +63,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--engine",
         default="fast",
         choices=ENGINES,
-        help="round engine: the optimised fast path (default) or the "
-        "reference executable specification",
+        help="round engine: the optimised fast path (default), the "
+        "reference executable specification, or the columnar bulk "
+        "engine (bulk-capable algorithms only)",
     )
     run.add_argument(
         "--trace-out",
@@ -184,10 +185,12 @@ def cmd_list(args=None, out=None) -> int:
             for p in problems:
                 print(f"  - {p}", file=out)
             return 1
+        bulk = sum(1 for s in zoo.all_specs() if s.bulk_capable)
         print(
             f"registry consistent: {len(zoo.names())} algorithms, "
             f"{len(zoo.with_baseline())} with baselines, "
-            f"{len(zoo.crash_safe())} crash-safe (fuzzed)",
+            f"{len(zoo.crash_safe())} crash-safe (fuzzed), "
+            f"{bulk} bulk-capable",
             file=out,
         )
         return 0
@@ -200,6 +203,8 @@ def cmd_list(args=None, out=None) -> int:
             flags.append("randomized")
         if s.crash_safe:
             flags.append("crash-safe")
+        if s.bulk_capable:
+            flags.append("bulk")
         rows.append(
             (
                 s.name,

@@ -49,7 +49,7 @@ from repro.core.coverfree import PolyFamily, build_family, palette_schedule
 from repro.graphs.graph import Graph
 from repro.runtime.context import Context
 from repro.runtime.metrics import RoundMetrics
-from repro.runtime.network import SyncNetwork
+from repro.runtime.network import SyncNetwork, current_engine
 
 
 # ---------------------------------------------------------------------------
@@ -192,6 +192,12 @@ def run_defective_coloring(
     """Standalone d-defective coloring of a whole graph (degree bound
     ``degree_limit``, default Delta): the building block Procedure
     Partial-Orientation invokes on each H-set."""
+    if current_engine() == "bulk":
+        from repro.core.bulk import bulk_defective_coloring
+
+        return bulk_defective_coloring(
+            graph, d, degree_limit=degree_limit, ids=ids, seed=seed
+        )
     A = degree_limit if degree_limit is not None else graph.max_degree()
     A = max(A, 1)
 

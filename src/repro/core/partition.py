@@ -22,7 +22,7 @@ from repro.core.common import JOIN, LocalView, degree_bound, partition_length_bo
 from repro.graphs.graph import Graph
 from repro.runtime.context import Context
 from repro.runtime.metrics import RoundMetrics
-from repro.runtime.network import RunResult, SyncNetwork
+from repro.runtime.network import RunResult, SyncNetwork, current_engine
 
 
 def join_h_set(
@@ -86,6 +86,10 @@ def run_partition(
     """Execute pure Procedure Partition: each vertex terminates the moment
     it joins its H-set (this is the O(1) vertex-averaged primitive that
     Theorem 6.3 analyses)."""
+    if current_engine() == "bulk":
+        from repro.core.bulk import bulk_partition
+
+        return bulk_partition(graph, a, eps=eps, ids=ids, seed=seed)
     A = degree_bound(a, eps)
 
     def program(ctx: Context):

@@ -44,6 +44,7 @@ from repro.obs.events import (
     EventBus,
     Halt,
     RoundEnd,
+    RoundSends,
     RoundStart,
     Send,
     from_record,
@@ -66,6 +67,7 @@ __all__ = [
     "NullSink",
     "PhaseProfiler",
     "RoundEnd",
+    "RoundSends",
     "RoundStart",
     "RunReport",
     "Send",

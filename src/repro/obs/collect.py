@@ -15,6 +15,17 @@ accumulates exactly the distributions the paper's statements are about:
 * inbox-occupancy: how many distinct vertices receive mail each round and
   the mean pending messages per such receiver.
 
+The collector accepts both tracing granularities: the per-call
+``send``/``broadcast``/``halt`` events the generator engines emit, and
+the aggregate ``round_sends`` / ``round_end.halts`` records the bulk
+engine emits (one event per round instead of O(messages)).  A
+``round_sends`` record is *authoritative* for its round -- individual
+send/broadcast events for the same round are ignored -- so replaying a
+mixed stream never double-counts message totals.  Per-vertex quantities
+(:meth:`vertex_averaged`, :meth:`terminations_per_round`, ...) fall back
+to the aggregate per-round halt counts when no per-vertex ``halt``
+events were observed.
+
 The collector assumes a single execution (rounds arriving in increasing
 order); :func:`repro.obs.report.segment_records` splits multi-run JSONL
 files before replaying them into one collector per execution.
@@ -47,6 +58,12 @@ class MetricsCollector(Sink):
         self.receivers: list[int] = []
         #: messages dropped per round (receiver terminated same round)
         self.dropped: list[int] = []
+        #: aggregate terminations per round (``round_end.halts``) -- the
+        #: only termination record an aggregate-granularity trace carries
+        self.halts: list[int] = []
+        #: rounds whose ``sent`` total came from an authoritative
+        #: ``round_sends`` record (per-call events for them are ignored)
+        self._agg_sent_rounds: set[int] = set()
         #: terminating vertices per round, in engine order
         self.terminated: list[list[int]] = []
         #: committing vertices per round, in engine order
@@ -74,11 +91,19 @@ class MetricsCollector(Sink):
             _grow(self.active, rnd - 1)
             self.active.append(event.active)
         elif kind == "send":
-            _grow(self.sent, rnd)
-            self.sent[rnd - 1] += 1
+            if rnd not in self._agg_sent_rounds:
+                _grow(self.sent, rnd)
+                self.sent[rnd - 1] += 1
         elif kind == "broadcast":
+            if rnd not in self._agg_sent_rounds:
+                _grow(self.sent, rnd)
+                self.sent[rnd - 1] += event.msgs
+        elif kind == "round_sends":
+            # authoritative per-round aggregate: overwrite whatever the
+            # per-call events contributed and stop counting them
             _grow(self.sent, rnd)
-            self.sent[rnd - 1] += event.msgs
+            self.sent[rnd - 1] = event.msgs
+            self._agg_sent_rounds.add(rnd)
         elif kind == "halt":
             while len(self.terminated) < rnd:
                 self.terminated.append([])
@@ -97,6 +122,8 @@ class MetricsCollector(Sink):
             self.delivered[rnd - 1] = event.msgs
             _grow(self.receivers, rnd)
             self.receivers[rnd - 1] = event.receivers
+            _grow(self.halts, rnd)
+            self.halts[rnd - 1] = event.halts
         elif kind == "fault_crash":
             while len(self.crashes) < rnd:
                 self.crashes.append([])
@@ -124,7 +151,9 @@ class MetricsCollector(Sink):
     @property
     def n(self) -> int:
         """Number of vertices observed terminating."""
-        return len(self.termination_round)
+        if self.termination_round:
+            return len(self.termination_round)
+        return sum(self.halts)
 
     @property
     def rounds(self) -> int:
@@ -133,20 +162,33 @@ class MetricsCollector(Sink):
 
     def round_histogram(self) -> dict[int, int]:
         """Termination round -> how many vertices finished there."""
-        return {r + 1: len(vs) for r, vs in enumerate(self.terminated) if vs}
+        if self.termination_round:
+            return {
+                r + 1: len(vs) for r, vs in enumerate(self.terminated) if vs
+            }
+        return {r + 1: h for r, h in enumerate(self.halts) if h}
 
     def vertex_averaged(self) -> float:
         """T-bar: mean termination round over the observed vertices."""
-        if not self.termination_round:
+        if self.termination_round:
+            return sum(self.termination_round.values()) / len(
+                self.termination_round
+            )
+        total = sum(self.halts)
+        if not total:
             return 0.0
-        return sum(self.termination_round.values()) / len(self.termination_round)
+        return sum((r + 1) * h for r, h in enumerate(self.halts)) / total
 
     def worst_case(self) -> int:
         """T: max termination round over the observed vertices."""
-        return max(self.termination_round.values(), default=0)
+        if self.termination_round:
+            return max(self.termination_round.values())
+        return max((r + 1 for r, h in enumerate(self.halts) if h), default=0)
 
     def terminations_per_round(self) -> list[int]:
-        return [len(vs) for vs in self.terminated]
+        if self.termination_round:
+            return [len(vs) for vs in self.terminated]
+        return list(self.halts)
 
     def commits_per_round(self) -> list[int]:
         return [len(vs) for vs in self.committed]

@@ -92,6 +92,23 @@ class Broadcast(Event):
 
 
 @dataclass(frozen=True, slots=True)
+class RoundSends(Event):
+    """Aggregate of one round's program sends: ``msgs`` copies routed by
+    all ``ctx.send`` / ``ctx.broadcast`` calls this round combined.
+
+    This is the coarse-grained alternative to per-``send``/``broadcast``
+    events: the bulk engine emits one ``round_sends`` per round instead of
+    O(messages) events, so tracing a million-vertex run stays O(rounds).
+    :class:`~repro.obs.collect.MetricsCollector` accepts either
+    granularity (a ``round_sends`` record is authoritative for its round,
+    so mixed streams are never double-counted).
+    """
+
+    kind: ClassVar[str] = "round_sends"
+    msgs: int
+
+
+@dataclass(frozen=True, slots=True)
 class Commit(Event):
     """Vertex ``v`` fixed its output (``ctx.commit``) this round."""
 
@@ -165,6 +182,7 @@ EVENT_TYPES: dict[str, type[Event]] = {
         RoundEnd,
         Send,
         Broadcast,
+        RoundSends,
         Commit,
         Halt,
         Drop,

@@ -148,9 +148,10 @@ def narrative(col: MetricsCollector, limit: int = 50) -> str:
         committed = col.committed[i] if i < len(col.committed) else []
         if committed:
             parts.append(f"{len(committed)} committed")
-        terminated = col.terminated[i] if i < len(col.terminated) else []
+        terms = col.terminations_per_round()
+        terminated = terms[i] if i < len(terms) else 0
         if terminated:
-            parts.append(f"{len(terminated)} terminated")
+            parts.append(f"{terminated} terminated")
         crashes = col.crashes[i] if i < len(col.crashes) else []
         if crashes:
             shown = ",".join(f"v{v}" for v in crashes[:6])
@@ -193,6 +194,7 @@ def decay_table(col: MetricsCollector, limit: int = 40) -> str:
 
 
 def _per_round_rows(col: MetricsCollector) -> list[tuple[int, int, int, int]]:
+    terms = col.terminations_per_round()
     rows = []
     for i in range(col.rounds):
         rows.append(
@@ -200,7 +202,7 @@ def _per_round_rows(col: MetricsCollector) -> list[tuple[int, int, int, int]]:
                 col.active[i] if i < len(col.active) else 0,
                 col.sent[i] if i < len(col.sent) else 0,
                 len(col.committed[i]) if i < len(col.committed) else 0,
-                len(col.terminated[i]) if i < len(col.terminated) else 0,
+                terms[i] if i < len(terms) else 0,
             )
         )
     return rows

@@ -12,6 +12,7 @@ Vertex programs are written as generator coroutines: one ``yield`` per
 communication round (see :mod:`repro.runtime.program`).
 """
 
+from repro.runtime.bulk import BulkUnsupported, bulk_broadcast_kernel
 from repro.runtime.context import Context, RouterState
 from repro.runtime.network import (
     ENGINES,
@@ -29,6 +30,7 @@ from repro.runtime.reference import ReferenceSyncNetwork
 from repro.runtime.trace import Trace, TraceRecorder
 
 __all__ = [
+    "BulkUnsupported",
     "Context",
     "ENGINES",
     "MaxRoundsExceeded",
@@ -40,6 +42,7 @@ __all__ = [
     "SyncNetwork",
     "Trace",
     "TraceRecorder",
+    "bulk_broadcast_kernel",
     "current_engine",
     "default_max_rounds",
     "engine_session",

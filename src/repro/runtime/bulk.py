@@ -1,0 +1,216 @@
+"""The columnar bulk engine: vectorized rounds over the CSR view.
+
+The generator engines (:mod:`repro.runtime.network`, the reference
+specification) step ``n`` coroutines per round, which caps throughput
+around a few million vertex-steps per second and makes n = 10^6 runs --
+the scale where Lemma 6.1's decay and Theorem 6.3's O(1) vertex-averaged
+bound become visually unambiguous -- impractically slow.  The bulk engine
+removes the per-vertex interpreter entirely: algorithm state lives in
+numpy columnar arrays indexed by vertex, and one synchronous round is a
+handful of vectorized array operations over the graph's cached CSR view
+(:meth:`repro.graphs.graph.Graph.csr`).
+
+There is no generic bulk interpreter for arbitrary vertex programs --
+vectorization requires knowing the algorithm's data flow -- so bulk
+execution is opt-in per algorithm: a driver with a columnar variant
+dispatches to it when ``current_engine() == "bulk"``
+(:data:`repro.core.bulk.BULK_DRIVERS` is the registry; the zoo mirrors it
+via ``AlgorithmSpec.bulk_capable``).  A program without one raises
+:class:`BulkUnsupported` instead of silently running on the fast path.
+
+Contract
+--------
+Bulk drivers are pinned **bit-identical** to the generator engines by the
+three-way differential suite (``tests/runtime/test_equivalence.py``):
+same outputs, same per-vertex termination rounds, same active trace, same
+per-round message totals (program sends minus same-round drops, plus one
+halt notice per terminating vertex).  The helpers here centralise the
+shared accounting so each driver only supplies its algorithm-specific
+array steps.
+
+Tracing granularity caveat
+--------------------------
+The bulk engine never materialises individual messages, so it cannot emit
+per-``send`` events.  Instead :func:`finalize_run` emits one
+``round_start`` / ``round_sends`` / ``round_end`` triple per round --
+O(rounds) total -- and does so *after* the vectorized execution finishes
+(events are derived from the final arrays, not interleaved with the
+computation).  :class:`repro.obs.collect.MetricsCollector` accepts this
+aggregate granularity; per-vertex ``halt``/``commit`` events are simply
+absent from bulk traces.
+
+Fault injection is not supported: the adversary's per-message hooks have
+no seam in a vectorized round.  Drivers call :func:`require_no_faults`
+so an installed fault session fails loudly rather than being ignored.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+import repro.obs as obs
+from repro.graphs.graph import Graph
+from repro.obs.events import RoundEnd, RoundSends, RoundStart
+from repro.runtime.metrics import RoundMetrics
+from repro.runtime.network import RunResult
+
+
+class BulkUnsupported(RuntimeError):
+    """The bulk engine cannot run this: no columnar driver, or a feature
+    (fault injection, generic programs) the vectorized path lacks."""
+
+
+def resolve_ids(graph: Graph, ids: Sequence[int] | None) -> np.ndarray:
+    """Validate an ID assignment exactly like ``SyncNetwork.__init__``.
+
+    Returns the IDs as an int64 column (the bulk engines' native layout).
+    """
+    n = graph.n
+    if ids is None:
+        return np.arange(n, dtype=np.int64)
+    if len(ids) != n:
+        raise ValueError("ID assignment length must equal n")
+    if len(set(ids)) != n:
+        raise ValueError("IDs must be distinct")
+    return np.asarray(list(ids), dtype=np.int64)
+
+
+def id_space(ids_arr: np.ndarray) -> int:
+    """One plus the maximum ID -- ``SyncNetwork.config["id_space"]``."""
+    return int(ids_arr.max()) + 1 if ids_arr.size else 1
+
+
+def require_no_faults(name: str) -> None:
+    """Refuse to run under an installed fault session.
+
+    The vectorized rounds have no per-message hook for the adversary, so
+    silently ignoring an active :func:`repro.faults.session` would make a
+    fault sweep report clean runs that were never actually attacked.
+    """
+    from repro.faults.plan import current
+
+    if current() is not None:
+        raise BulkUnsupported(
+            f"bulk driver {name!r} does not support fault injection; "
+            "run it on the 'fast' or 'reference' engine, or drop the "
+            "fault session"
+        )
+
+
+def gather_rows(
+    offsets: np.ndarray, indices: np.ndarray, verts: np.ndarray
+) -> np.ndarray:
+    """Concatenate the CSR adjacency rows of ``verts`` (with multiplicity).
+
+    The standard row-gather: for each v in ``verts`` the slice
+    ``indices[offsets[v]:offsets[v+1]]``, all in one vectorized pass.
+    """
+    if verts.size == 0:
+        return indices[:0]
+    starts = offsets[verts]
+    counts = offsets[verts + 1] - starts
+    total = int(counts.sum())
+    if total == 0:
+        return indices[:0]
+    cum = np.cumsum(counts)
+    pos = (
+        np.arange(total, dtype=np.int64)
+        - np.repeat(cum - counts, counts)
+        + np.repeat(starts, counts)
+    )
+    return indices[pos]
+
+
+def finalize_run(
+    outputs: dict[int, Any],
+    term: np.ndarray,
+    sent: Sequence[int],
+    msgs: Sequence[int],
+    receivers: Sequence[int],
+    bus=None,
+) -> RunResult:
+    """Assemble a :class:`RunResult` from a bulk driver's final arrays.
+
+    ``term`` is the per-vertex termination round (int64, all >= 1 for a
+    completed run); ``sent`` / ``msgs`` / ``receivers`` are per-round
+    totals matching the generator engines' accounting (``msgs`` includes
+    the one halt notice per terminating vertex).  The active trace is
+    derived from ``term``: n_i = #{v : term(v) >= i}.
+
+    When an event bus is live (explicit ``bus`` or the process-wide
+    default), one ``round_start`` / ``round_sends`` / ``round_end``
+    triple per round is emitted -- the aggregate tracing granularity.
+    """
+    n = int(term.size)
+    rounds_run = int(term.max()) if n else 0
+    halts = (
+        np.bincount(term, minlength=rounds_run + 1)[1:]
+        if n
+        else np.zeros(0, dtype=np.int64)
+    )
+    active = n - np.concatenate(
+        ([0], np.cumsum(halts)[:-1])
+    ) if rounds_run else np.zeros(0, dtype=np.int64)
+    assert len(sent) == rounds_run and len(msgs) == rounds_run
+    assert len(receivers) == rounds_run
+
+    if bus is None:
+        bus = obs.current()
+    if bus is not None and bus.active:
+        for i in range(rounds_run):
+            rnd = i + 1
+            bus.emit(RoundStart(rnd, int(active[i])))
+            if sent[i]:
+                bus.emit(RoundSends(rnd, int(sent[i])))
+            bus.emit(
+                RoundEnd(rnd, int(msgs[i]), int(receivers[i]), int(halts[i]))
+            )
+
+    term_t = tuple(int(r) for r in term)
+    metrics = RoundMetrics(
+        rounds=term_t,
+        active_trace=tuple(int(a) for a in active),
+        messages_per_round=tuple(int(m) for m in msgs),
+    )
+    return RunResult(
+        outputs=outputs,
+        metrics=metrics,
+        contexts=(),
+        output_rounds=term_t,
+        crashed=(),
+    )
+
+
+def bulk_broadcast_kernel(graph: Graph, rounds: int = 10) -> RunResult:
+    """Columnar twin of the bench broadcast kernel.
+
+    Every vertex broadcasts a value each round and folds its neighbors'
+    previous values into a running sum (the per-round delivery work an
+    algorithm would do), runs ``rounds`` rounds, then terminates.  The
+    :class:`RunResult` is bit-identical to the generator kernel's:
+    ``2m`` routed copies per broadcast round, then ``n`` halt notices,
+    outputs all ``None``.
+    """
+    require_no_faults("bulk_broadcast_kernel")
+    n = graph.n
+    offsets, indices = graph.csr()
+    deg = (offsets[1:] - offsets[:-1]).astype(np.int64)
+    m2 = int(indices.size)
+    dst = np.repeat(np.arange(n, dtype=np.int64), deg)
+
+    col = np.arange(n, dtype=np.int64)
+    acc = np.zeros(n, dtype=np.float64)
+    for _ in range(rounds):
+        # each vertex sums the values its neighbors broadcast last round
+        acc += np.bincount(dst, weights=col[indices].astype(np.float64), minlength=n)
+        col = col + 1
+
+    term = np.full(n, rounds + 1, dtype=np.int64)
+    n_recv = int((deg > 0).sum())
+    sent = [m2] * rounds + [0]
+    msgs = [m2] * rounds + [n]
+    receivers = [n_recv] * rounds + [0]
+    outputs: dict[int, Any] = dict.fromkeys(range(n))
+    return finalize_run(outputs, term, sent, msgs, receivers)

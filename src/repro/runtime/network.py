@@ -81,9 +81,11 @@ ProgramFactory = Callable[[Context], Generator[None, None, Any]]
 # engine selection
 # ---------------------------------------------------------------------------
 
-#: the selectable round engines: the throughput-optimised fast path and
-#: the executable-specification reference implementation
-ENGINES = ("fast", "reference")
+#: the selectable round engines: the throughput-optimised fast path, the
+#: executable-specification reference implementation, and the columnar
+#: bulk engine (numpy arrays over the CSR view; only algorithms with a
+#: registered bulk driver can run on it -- see :mod:`repro.runtime.bulk`)
+ENGINES = ("fast", "reference", "bulk")
 
 #: process-wide engine override stack (see :func:`engine_session`)
 _ENGINE_STACK: list[str] = []
@@ -173,24 +175,22 @@ class RoundLimitExceeded(MaxRoundsExceeded):
 
     #: vertices listed by name in the message before eliding the rest
     _SHOWN = 12
+    #: per-vertex summary tuples materialised at most this many -- a
+    #: million-vertex watchdog trip must not build a million 5-tuples
+    SUMMARY_CAP = 100_000
 
-    def __init__(self, limit: int, active: Sequence[int], contexts: Sequence[Context]) -> None:
+    def __init__(
+        self,
+        limit: int,
+        active: Sequence[int],
+        contexts: Sequence[Context] | None = None,
+    ) -> None:
         self.limit = limit
         self.active = tuple(active)
-        self.summaries = tuple(
-            (
-                v,
-                contexts[v].round,
-                contexts[v].active_degree(),
-                len(contexts[v].halted),
-                contexts[v].committed,
-            )
-            for v in self.active
-        )
+        self._contexts = contexts
+        self._summaries: tuple | None = None
         shown = ", ".join(
-            f"v{v} (round {r}, {ad} active / {h} halted nbrs"
-            + (", committed)" if c else ")")
-            for v, r, ad, h, c in self.summaries[: self._SHOWN]
+            self._describe(v) for v in self.active[: self._SHOWN]
         )
         more = (
             "" if len(self.active) <= self._SHOWN
@@ -201,9 +201,53 @@ class RoundLimitExceeded(MaxRoundsExceeded):
             f"rounds: {shown}{more}"
         )
 
+    def _summarize(self, v: int) -> tuple:
+        if self._contexts is None:
+            # bulk engine: no per-vertex Context objects exist
+            return (v, self.limit, None, None, None)
+        ctx = self._contexts[v]
+        return (
+            v,
+            ctx.round,
+            ctx.active_degree(),
+            len(ctx.halted),
+            ctx.committed,
+        )
+
+    def _describe(self, v: int) -> str:
+        v, r, ad, h, c = self._summarize(v)
+        if ad is None:
+            return f"v{v}"
+        return (
+            f"v{v} (round {r}, {ad} active / {h} halted nbrs"
+            + (", committed)" if c else ")")
+        )
+
+    @property
+    def summaries(self) -> tuple:
+        """Per-vertex ``(vertex, rounds run, active nbrs, halted nbrs,
+        committed?)`` snapshots, built lazily on first access and capped
+        at :attr:`SUMMARY_CAP` entries (the message alone never costs
+        more than :attr:`_SHOWN` summaries)."""
+        if self._summaries is None:
+            self._summaries = tuple(
+                self._summarize(v) for v in self.active[: self.SUMMARY_CAP]
+            )
+        return self._summaries
+
 
 def default_max_rounds(n: int) -> int:
-    """The default liveness budget for an ``n``-vertex execution."""
+    """The default liveness budget for an ``n``-vertex execution.
+
+    Audited for n >= 10^6: the linear ``16 n`` term is deliberate -- wave
+    programs (e.g. path broadcast) legitimately run Theta(n) rounds -- so
+    at a million vertices the budget is ~1.6e7 *rounds*, not work; the
+    watchdog comparison is one integer check per round.  What must stay
+    cheap at that scale is the failure path: :class:`RoundLimitExceeded`
+    formats only :attr:`~RoundLimitExceeded._SHOWN` vertices eagerly and
+    builds its per-vertex summaries lazily (capped), so a watchdog trip
+    with 10^6 stragglers does not materialise O(n) strings.
+    """
     return 64 * (n.bit_length() + 1) * max(1, n.bit_length()) + 16 * n + 1024
 
 
@@ -345,12 +389,27 @@ class SyncNetwork:
         ``run``, so invoking its implementation on this instance is the
         whole delegation).
         """
-        if type(self) is SyncNetwork and current_engine() == "reference":
-            from repro.runtime.reference import ReferenceSyncNetwork
+        if type(self) is SyncNetwork:
+            eng = current_engine()
+            if eng == "reference":
+                from repro.runtime.reference import ReferenceSyncNetwork
 
-            return ReferenceSyncNetwork.run(
-                self, program, max_rounds, collect_messages, bus, faults
-            )
+                return ReferenceSyncNetwork.run(
+                    self, program, max_rounds, collect_messages, bus, faults
+                )
+            if eng == "bulk":
+                # The bulk engine does not step generator programs at all:
+                # algorithms opt in by dispatching to a columnar driver
+                # (repro.core.bulk) *before* constructing a network.  A
+                # run reaching this point has no such driver.
+                from repro.runtime.bulk import BulkUnsupported
+
+                raise BulkUnsupported(
+                    "engine_session('bulk') is active but this program has "
+                    "no columnar driver; bulk execution is only available "
+                    "for algorithms with a registered bulk driver "
+                    "(repro.core.bulk.BULK_DRIVERS)"
+                )
         g = self.graph
         n = g.n
         if max_rounds is None:

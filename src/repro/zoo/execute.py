@@ -142,6 +142,22 @@ def execute(
     if plan is not None and plan.empty:
         plan = None
 
+    if engine == "bulk":
+        if not spec.bulk_capable or baseline:
+            from repro.zoo.registry import all_specs
+
+            capable = [s.name for s in all_specs() if s.bulk_capable]
+            what = f"the {spec.name!r} baseline" if baseline else repr(spec.name)
+            raise ValueError(
+                f"{what} has no bulk driver; engine='bulk' is available "
+                f"for: {capable}"
+            )
+        if plan is not None:
+            raise ValueError(
+                "engine='bulk' does not support fault injection; run the "
+                "plan on the 'fast' or 'reference' engine"
+            )
+
     sinks = []
     if trace:
         meta = {

@@ -53,6 +53,17 @@ _SPECS: tuple[AlgorithmSpec, ...] = (
             label="H-partition, O(1) avg vs Theta(log n) worst",
             ref="Theorem 6.3",
         ),
+        bulk_capable=True,
+    ),
+    AlgorithmSpec(
+        name="luby-mis",
+        problem="mis",
+        driver=_D("run_luby_mis", passes_a=False, passes_seed=True),
+        randomized=True,
+        # the bulk twin rejects fault injection, and the generator driver
+        # was never part of the fuzz population -- keep that visible
+        crash_safe=False,
+        bulk_capable=True,
     ),
     AlgorithmSpec(
         name="a2logn",
@@ -291,7 +302,6 @@ EXEMPT_DRIVERS: dict[str, str] = {
     "run_arbdefective_coloring": "subroutine of the Section 7.8 algorithms",
     "run_legal_coloring": "subroutine of `one-plus-eta` (Procedure Legal-Coloring)",
     "run_linial_coloring": "classic reference; no averaged partner row",
-    "run_luby_mis": "classic randomized reference (bench-only)",
     "run_ring_three_coloring": "Cole-Vishkin reference (bench-only)",
 }
 
@@ -312,7 +322,10 @@ def check_registry() -> list[str]:
        drift);
     5. the fuzz population equals ``crash_safe()`` (no fuzz drift -- the
        historical ``ka2``/``one-plus-eta``/``aloglogn`` gap);
-    6. paper-row tables are 1, 2 or None and row ids are unique.
+    6. paper-row tables are 1, 2 or None and row ids are unique;
+    7. ``bulk_capable`` flags mirror ``repro.core.bulk.BULK_DRIVERS``
+       exactly, every bulk-driver entry names a public export, and the
+       zoo's engine tuple matches the runtime's.
     """
     import repro
 
@@ -391,5 +404,35 @@ def check_registry() -> list[str]:
         problems.append(
             f"fuzz population {fuzz_pop!r} != crash-safe registry "
             f"view {expected!r}"
+        )
+
+    # bulk drift: the bulk_capable flags must mirror the columnar-driver
+    # registry, and the zoo's engine list must match the runtime's.
+    from repro.core.bulk import BULK_DRIVERS
+    from repro.runtime.network import ENGINES as _RUNTIME_ENGINES
+    from repro.zoo.spec import ENGINES as _ZOO_ENGINES
+
+    if _ZOO_ENGINES != _RUNTIME_ENGINES:
+        problems.append(
+            f"zoo ENGINES {_ZOO_ENGINES!r} != runtime ENGINES "
+            f"{_RUNTIME_ENGINES!r}"
+        )
+    for spec in all_specs():
+        has_bulk = (
+            spec.driver.fn is None and spec.driver.func in BULK_DRIVERS
+        )
+        if spec.bulk_capable and not has_bulk:
+            problems.append(
+                f"{spec.name}: flagged bulk_capable but driver "
+                f"{spec.driver.func!r} has no core.bulk.BULK_DRIVERS entry"
+            )
+        if has_bulk and not spec.bulk_capable:
+            problems.append(
+                f"{spec.name}: driver {spec.driver.func!r} has a bulk twin "
+                "but the spec is not flagged bulk_capable"
+            )
+    for func in sorted(set(BULK_DRIVERS) - exported):
+        problems.append(
+            f"bulk driver entry {func!r} does not name a public repro export"
         )
     return problems

@@ -26,8 +26,9 @@ from typing import Any, Callable, Mapping, Sequence
 #: H-partition of Section 6 underlies them all)
 PROBLEM_KINDS = ("coloring", "edge-coloring", "mis", "matching", "partition")
 
-#: engines `execute()` accepts (see repro.runtime.engine_session)
-ENGINES = ("fast", "reference")
+#: engines `execute()` accepts (see repro.runtime.engine_session);
+#: kept in sync with ``repro.runtime.ENGINES`` (check_registry verifies)
+ENGINES = ("fast", "reference", "bulk")
 
 
 @dataclass(frozen=True)
@@ -136,9 +137,15 @@ class AlgorithmSpec:
     crash_safe:
         Whether the algorithm participates in crash-stop fault fuzzing:
         survivor-subgraph safety is expected to hold under any crash-only
-        plan (the ``repro fuzz --smoke`` CI gate).  All current specs
-        are crash-safe; the flag exists so a future algorithm with
-        documented crash-unsafety can opt out *visibly*.
+        plan (the ``repro fuzz --smoke`` CI gate).  The flag exists so an
+        algorithm with documented crash-unsafety can opt out *visibly*
+        (e.g. ``luby-mis``, whose bulk twin rejects fault injection).
+    bulk_capable:
+        Whether the driver has a columnar twin in
+        ``repro.core.bulk.BULK_DRIVERS`` and therefore runs under
+        ``execute(engine="bulk")``.  ``check_registry`` fails on any
+        drift between this flag and the driver registry.  Bulk-capable
+        or not, fault plans never combine with the bulk engine.
     """
 
     name: str
@@ -148,6 +155,7 @@ class AlgorithmSpec:
     paper_row: PaperRow | None = None
     randomized: bool = False
     crash_safe: bool = True
+    bulk_capable: bool = False
 
     def __post_init__(self) -> None:
         if self.problem not in PROBLEM_KINDS:

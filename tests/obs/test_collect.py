@@ -128,3 +128,92 @@ def test_summary_renders():
     SyncNetwork(g).run(program, bus=EventBus(col))
     s = col.summary()
     assert "n=5" in s and "avg=" in s and "sent=" in s
+
+
+def test_round_sends_is_authoritative_no_double_count():
+    """An aggregate ``round_sends`` record owns its round: per-call
+    send/broadcast events for the same round are ignored whether they
+    arrive before or after it, so mixed-granularity streams never
+    double-count."""
+    from repro.obs.events import RoundSends, Send
+
+    col = MetricsCollector()
+    col.emit(RoundStart(1, 3))
+    col.emit(Broadcast(1, 0, 2))
+    col.emit(Send(1, 1, 0))
+    col.emit(RoundEnd(1, 3, 2, 1))
+    col.emit(RoundStart(2, 2))
+    col.emit(Broadcast(2, 0, 5))  # before the aggregate: overwritten
+    col.emit(RoundSends(2, 7))
+    col.emit(Broadcast(2, 1, 5))  # after the aggregate: ignored
+    col.emit(Send(2, 1, 0))
+    col.emit(RoundEnd(2, 7, 1, 2))
+    assert col.sent == [3, 7]
+    assert col.total_sent() == 10
+
+
+def test_aggregate_only_stream_supports_per_vertex_accessors():
+    """A pure aggregate-granularity trace (the bulk engine: no per-vertex
+    ``halt`` events at all) still answers every per-vertex question from
+    the ``round_end.halts`` counts."""
+    from repro.obs.events import RoundSends
+
+    col = MetricsCollector()
+    col.emit(RoundStart(1, 4))
+    col.emit(RoundSends(1, 6))
+    col.emit(RoundEnd(1, 6, 3, 1))
+    col.emit(RoundStart(2, 3))
+    col.emit(RoundSends(2, 4))
+    col.emit(RoundEnd(2, 4, 0, 3))
+    assert col.n == 4
+    assert col.round_histogram() == {1: 1, 2: 3}
+    assert col.terminations_per_round() == [1, 3]
+    assert col.vertex_averaged() == (1 * 1 + 2 * 3) / 4
+    assert col.worst_case() == 2
+    assert col.decay_curve() == [4, 3]
+    assert col.sent == [6, 4] and col.delivered == [6, 4]
+
+
+def test_per_vertex_halts_take_precedence_over_aggregate_halts():
+    """When both granularities are present (a generator-engine trace:
+    ``halt`` events *and* ``round_end.halts``), the per-vertex record wins
+    and nothing is counted twice."""
+    col = MetricsCollector()
+    col.emit(RoundStart(1, 2))
+    col.emit(Halt(1, 0))
+    col.emit(Halt(1, 1))
+    col.emit(RoundEnd(1, 2, 0, 2))
+    assert col.n == 2
+    assert col.terminations_per_round() == [2]
+    assert col.round_histogram() == {1: 2}
+    assert col.vertex_averaged() == 1.0
+
+
+def test_bulk_and_fast_traces_collect_identically():
+    """End-to-end: collecting a bulk run and a fast run of the same
+    driver yields the same statistics despite the different event
+    granularities."""
+    from repro.runtime import engine_session
+
+    g = gen.union_of_forests(300, 3, seed=1)
+    with obs.collecting() as col_fast:
+        repro.run_partition(g, a=3)
+    with engine_session("bulk"):
+        with obs.collecting() as col_bulk:
+            repro.run_partition(g, a=3)
+    assert col_bulk.decay_curve() == col_fast.decay_curve()
+    assert col_bulk.sent == col_fast.sent
+    assert col_bulk.delivered == col_fast.delivered
+    assert col_bulk.receivers == col_fast.receivers
+    assert col_bulk.n == col_fast.n
+    assert col_bulk.vertex_averaged() == col_fast.vertex_averaged()
+    assert col_bulk.worst_case() == col_fast.worst_case()
+    assert (
+        col_bulk.terminations_per_round() == col_fast.terminations_per_round()
+    )
+    # the one documented granularity gap: aggregate traces carry no
+    # per-destination drop records (sent/delivered already embed them)
+    assert col_fast.total_dropped() == sum(col_fast.sent) - sum(
+        d - h for d, h in zip(col_fast.delivered, col_fast.halts)
+    )
+    assert col_bulk.total_dropped() == 0

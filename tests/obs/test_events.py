@@ -18,6 +18,7 @@ from repro.obs.events import (
     FaultDup,
     Halt,
     RoundEnd,
+    RoundSends,
     RoundStart,
     Send,
     from_record,
@@ -31,6 +32,7 @@ def _sample_events():
         RoundStart(1, 5),
         Send(1, 0, 1),
         Broadcast(1, 2, 3),
+        RoundSends(1, 7),
         Commit(1, 4),
         Halt(1, 4),
         Drop(1, 4, 2),
@@ -61,6 +63,7 @@ def test_registry_covers_the_issue_event_vocabulary():
     assert set(EVENT_TYPES) == {
         "round_start",
         "round_end",
+        "round_sends",
         "send",
         "broadcast",
         "commit",

@@ -1,0 +1,184 @@
+"""The bulk engine's shared plumbing: CSR row-gather, RunResult
+assembly, the columnar bench kernel, and the refusal paths
+(:class:`BulkUnsupported` for generic programs and fault sessions).
+
+The algorithm-level bit-identity pins live in ``test_equivalence.py``
+(three-way matrix); this file covers the helpers those drivers share.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators as gen
+from repro.runtime import BulkUnsupported, bulk_broadcast_kernel, engine_session
+from repro.runtime.bulk import (
+    finalize_run,
+    gather_rows,
+    id_space,
+    require_no_faults,
+    resolve_ids,
+)
+from repro.runtime.network import RoundLimitExceeded, SyncNetwork
+
+
+class TestGatherRows:
+    def test_matches_per_vertex_slices(self):
+        g = gen.union_of_forests(60, 3, seed=0)
+        offsets, indices = g.csr()
+        verts = np.array([0, 5, 5, 17, 59], dtype=np.int64)
+        expect = np.concatenate(
+            [indices[offsets[v] : offsets[v + 1]] for v in verts]
+        )
+        got = gather_rows(offsets, indices, verts)
+        assert np.array_equal(got, expect)
+
+    def test_empty_vertex_set(self):
+        g = gen.ring(5)
+        offsets, indices = g.csr()
+        out = gather_rows(offsets, indices, np.zeros(0, dtype=np.int64))
+        assert out.size == 0
+
+    def test_zero_degree_vertices_contribute_nothing(self):
+        g = gen.star_forest(1, 3)  # plus isolated-free; add empty graph too
+        offsets, indices = g.csr()
+        leaves = np.array([1, 2, 3], dtype=np.int64)
+        assert gather_rows(offsets, indices, leaves).tolist() == [0, 0, 0]
+
+
+class TestResolveIds:
+    def test_identity_default(self):
+        g = gen.ring(4)
+        assert resolve_ids(g, None).tolist() == [0, 1, 2, 3]
+
+    def test_validation_matches_sync_network(self):
+        g = gen.ring(4)
+        with pytest.raises(ValueError, match="length"):
+            resolve_ids(g, [1, 2, 3])
+        with pytest.raises(ValueError, match="distinct"):
+            resolve_ids(g, [1, 1, 2, 3])
+
+    def test_id_space(self):
+        assert id_space(np.array([3, 9, 0], dtype=np.int64)) == 10
+        assert id_space(np.zeros(0, dtype=np.int64)) == 1
+
+
+class TestFinalizeRun:
+    def test_derives_active_trace_from_term(self):
+        term = np.array([1, 2, 2, 3], dtype=np.int64)
+        res = finalize_run(
+            {v: None for v in range(4)},
+            term,
+            sent=[4, 2, 1],
+            msgs=[5, 4, 2],
+            receivers=[3, 2, 0],
+        )
+        assert res.metrics.rounds == (1, 2, 2, 3)
+        assert res.metrics.active_trace == (4, 3, 1)
+        assert res.metrics.messages_per_round == (5, 4, 2)
+        assert res.output_rounds == (1, 2, 2, 3)
+        assert res.metrics.check_active_trace()
+
+    def test_emits_aggregate_events_on_live_bus(self):
+        from repro.obs.events import EventBus
+        from repro.obs.sinks import MemorySink
+
+        mem = MemorySink()
+        term = np.array([2, 1], dtype=np.int64)
+        finalize_run(
+            {0: None, 1: None},
+            term,
+            sent=[3, 0],
+            msgs=[4, 1],
+            receivers=[1, 0],
+            bus=EventBus(mem),
+        )
+        kinds = [e.kind for e in mem.events]
+        # round_sends only for rounds that actually routed something
+        assert kinds == ["round_start", "round_sends", "round_end", "round_start", "round_end"]
+        assert mem.events[1].msgs == 3
+        assert mem.events[2].halts == 1
+
+    def test_empty_graph(self):
+        res = finalize_run({}, np.zeros(0, dtype=np.int64), [], [], [])
+        assert res.metrics.rounds == ()
+        assert res.metrics.active_trace == ()
+
+
+class TestBroadcastKernel:
+    @pytest.mark.parametrize("n,rounds", [(60, 3), (200, 10)])
+    def test_bit_identical_to_generator_kernel(self, n, rounds):
+        from repro.bench.baseline import broadcast_program
+
+        g = gen.union_of_forests(n, 3, seed=0)
+        ref = SyncNetwork(g).run(broadcast_program(rounds))
+        bulk = bulk_broadcast_kernel(g, rounds=rounds)
+        assert bulk.outputs == ref.outputs
+        assert bulk.metrics.rounds == ref.metrics.rounds
+        assert bulk.metrics.active_trace == ref.metrics.active_trace
+        assert (
+            bulk.metrics.messages_per_round == ref.metrics.messages_per_round
+        )
+        assert bulk.output_rounds == ref.output_rounds
+
+
+class TestRefusals:
+    def test_require_no_faults_is_noop_without_session(self):
+        require_no_faults("anything")
+
+    def test_require_no_faults_raises_under_session(self):
+        from repro import faults as flt
+        from repro.faults import CrashSpec, FaultPlan
+
+        plan = FaultPlan(seed=3, crashes=CrashSpec(hazard=0.5))
+        with flt.session(plan.injector()):
+            with pytest.raises(BulkUnsupported, match="fault injection"):
+                require_no_faults("bulk_partition")
+
+    def test_generic_program_raises_under_bulk_session(self):
+        g = gen.ring(6)
+
+        def program(ctx):
+            yield
+            return None
+
+        with engine_session("bulk"):
+            with pytest.raises(BulkUnsupported, match="columnar driver"):
+                SyncNetwork(g).run(program)
+
+
+class TestLargeN:
+    """The million-vertex acceptance path, scaled to test budget: the
+    columnar Partition driver completes quickly at n = 10^5 and its
+    watchdog failure is cheap (lazy summaries, no contexts)."""
+
+    def test_partition_at_one_hundred_thousand(self):
+        import repro
+
+        g = gen.union_of_forests(100_000, 3, seed=0)
+        with engine_session("bulk"):
+            res = repro.run_partition(g, a=3)
+        m = res.metrics
+        assert len(res.h_index) == 100_000
+        assert m.check_active_trace()
+        # Theorem 6.3's shape: O(1) vertex-averaged at any scale
+        assert m.vertex_averaged < 4.0
+        assert m.worst_case <= 10
+
+    def test_bulk_watchdog_is_lazy_at_large_n(self):
+        from repro.core.bulk import bulk_partition
+
+        # a = 1 undersizes the degree bound for an arboricity-3 graph, so
+        # the high-degree core never drains and the budget runs out with
+        # tens of thousands of vertices still active
+        g = gen.union_of_forests(50_000, 3, seed=0)
+        with pytest.raises(RoundLimitExceeded) as exc:
+            bulk_partition(g, 1, max_rounds=1)
+        err = exc.value
+        assert err.limit == 1
+        assert err._summaries is None  # nothing materialized by raising
+        assert len(err.active) > 1_000
+        # message names only a 12-vertex prefix of the stragglers
+        assert "... " in str(err) and " more" in str(err)
+        # summaries degrade to (v, limit, None, None, None) -- no contexts
+        v, limit, ad, h, c = err.summaries[0]
+        assert limit == 1 and ad is None and h is None and c is None

@@ -54,7 +54,30 @@ class TestSessionStack:
             engine_session("turbo")
 
     def test_engines_constant(self):
-        assert ENGINES == ("fast", "reference")
+        assert ENGINES == ("fast", "reference", "bulk")
+
+    def test_bulk_session_rejects_programs_without_drivers(self):
+        """Under engine_session('bulk'), a generator program with no
+        columnar twin must fail loudly, not silently run the slow path."""
+        from repro.runtime import BulkUnsupported
+
+        g, ids = _instance(n=40)
+        with engine_session("bulk"):
+            with pytest.raises(BulkUnsupported, match="columnar driver"):
+                SyncNetwork(g, ids=ids, seed=0).run(prog_beat)
+
+    def test_bulk_session_selects_columnar_driver(self):
+        """A bulk-capable driver run inside engine_session('bulk') must be
+        bit-identical to its fast-engine run."""
+        import repro
+
+        g, ids = _instance(n=120)
+        fast = repro.run_partition(g, a=3, ids=ids)
+        with engine_session("bulk"):
+            bulk = repro.run_partition(g, a=3, ids=ids)
+        assert bulk.h_index == fast.h_index
+        assert bulk.metrics.rounds == fast.metrics.rounds
+        assert bulk.metrics.messages_per_round == fast.metrics.messages_per_round
 
 
 class TestDelegation:

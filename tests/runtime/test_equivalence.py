@@ -1,4 +1,4 @@
-"""Differential equivalence: the fast engine vs the reference engine.
+"""Differential equivalence: fast vs reference vs bulk engines.
 
 :class:`repro.runtime.network.SyncNetwork` (pooled mail slots, CSR
 fan-out, broadcast fast path) must replay any vertex program with results
@@ -9,6 +9,13 @@ replay randomized programs exercising every observable engine feature --
 ``ctx.inbox``, ``ctx.halted`` / ``ctx.newly_halted``, final-round sends --
 over every workload family and several seeds, and compare the complete
 :class:`RunResult` surface plus the per-round :class:`Trace` records.
+
+The three-way matrix at the bottom extends the pin to the columnar bulk
+engine: every driver with a bulk twin (``repro.core.bulk.BULK_DRIVERS``)
+must produce bit-identical outputs *and* round/message accounting under
+all three engines, across the workload families and several seeds; bulk
+runs under an active fault session must refuse loudly rather than skip
+the adversary.
 """
 
 import pytest
@@ -252,6 +259,117 @@ def test_event_streams_identical_across_programs(program_name):
         cls(g, ids=ids, seed=2).run(PROGRAMS[program_name], bus=EventBus(mem))
         streams.append(mem.events)
     assert streams[0] == streams[1]
+
+
+# ---------------------------------------------------------------------------
+# Three-way matrix: every bulk-capable driver, fast vs reference vs bulk
+# ---------------------------------------------------------------------------
+
+from repro.runtime import engine_session  # noqa: E402
+
+
+def _metrics_surface(m):
+    return (
+        m.rounds,
+        m.active_trace,
+        m.messages_per_round,
+        m.vertex_averaged,
+        m.worst_case,
+        m.round_sum,
+        m.total_messages,
+    )
+
+
+def _instance(family, seed, n=N):
+    from repro.graphs import generators as gen
+
+    g, a = WORKLOADS[family](n, seed=seed)
+    ids = gen.random_ids(g.n, seed=1000 + seed)
+    return g, a, ids
+
+
+def _three_way(run):
+    """Run ``run()`` under each engine session; returns {engine: result}."""
+    out = {"fast": run()}
+    with engine_session("reference"):
+        out["reference"] = run()
+    with engine_session("bulk"):
+        out["bulk"] = run()
+    return out
+
+
+def _assert_three_way(results, payload):
+    fast = results["fast"]
+    for engine in ("reference", "bulk"):
+        other = results[engine]
+        assert payload(other) == payload(fast), engine
+        assert _metrics_surface(other.metrics) == _metrics_surface(fast.metrics), engine
+    assert fast.metrics.check_active_trace()
+    assert results["bulk"].metrics.check_active_trace()
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+@pytest.mark.parametrize("seed", SEEDS)
+def test_three_way_partition(family, seed):
+    import repro
+
+    g, a, ids = _instance(family, seed)
+    results = _three_way(lambda: repro.run_partition(g, a=a, ids=ids))
+    _assert_three_way(results, lambda r: r.h_index)
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+@pytest.mark.parametrize("seed", SEEDS)
+def test_three_way_luby_mis(family, seed):
+    import repro
+
+    g, _a, ids = _instance(family, seed)
+    results = _three_way(lambda: repro.run_luby_mis(g, ids=ids, seed=seed))
+    _assert_three_way(results, lambda r: (r.in_mis, r.h_index))
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("n", [3, 8, 120])
+def test_three_way_cole_vishkin(seed, n):
+    import repro
+    from repro.graphs import generators as gen
+
+    g = gen.ring(n)
+    ids = gen.random_ids(n, seed=1000 + seed)
+    results = _three_way(lambda: repro.run_ring_three_coloring(g, ids=ids))
+    _assert_three_way(results, lambda r: r.colors)
+
+
+@pytest.mark.parametrize("family", ["forest_union_a3", "star_forest", "gnp_sparse"])
+@pytest.mark.parametrize("d", [1, 3])
+def test_three_way_defective_coloring(family, d):
+    import repro
+
+    g, _a, ids = _instance(family, seed=d)
+    results = _three_way(lambda: repro.run_defective_coloring(g, d=d, ids=ids))
+    _assert_three_way(results, lambda r: (r.colors, r.palette_bound, r.defect_bound))
+
+
+@pytest.mark.parametrize("driver", ["run_partition", "run_luby_mis"])
+def test_bulk_refuses_fault_sessions(driver):
+    """A live fault session must make the bulk twin refuse loudly -- a
+    vectorized round has no per-message adversary hook, and pretending
+    otherwise would report clean runs that were never attacked."""
+    import repro
+    from repro import faults as flt
+    from repro.faults import CrashSpec, FaultPlan
+    from repro.runtime import BulkUnsupported
+
+    g, a, ids = _instance("forest_union_a3", seed=0, n=40)
+    plan = FaultPlan(seed=1, crashes=CrashSpec(at={0: 2}))
+    run = {
+        "run_partition": lambda: repro.run_partition(g, a=a, ids=ids),
+        "run_luby_mis": lambda: repro.run_luby_mis(g, ids=ids, seed=0),
+    }[driver]
+    with engine_session("bulk"):
+        with flt.session(plan.injector()):
+            with pytest.raises(BulkUnsupported, match="fault injection"):
+                run()
 
 
 def test_newly_halted_and_inbox_views_agree():

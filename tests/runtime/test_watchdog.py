@@ -91,6 +91,60 @@ def test_summary_caps_listed_vertices(engine):
     assert len(exc.value.summaries) == 40  # the data itself is complete
 
 
+class TestLazySummaries:
+    """Large-n behavior of the watchdog error (the n >= 10^6 audit): the
+    exception must be cheap to *construct* -- message from the first few
+    vertices only, per-vertex summaries built lazily and capped."""
+
+    def test_contexts_none_summaries_degrade_gracefully(self):
+        err = RoundLimitExceeded(7, [3, 1, 4], contexts=None)
+        assert err.limit == 7 and err.active == (3, 1, 4)
+        assert err.summaries == ((3, 7, None, None, None), (1, 7, None, None, None), (4, 7, None, None, None))
+        assert "3 vertices still active after 7 rounds" in str(err)
+        assert "v3" in str(err)
+
+    def test_message_built_from_prefix_only(self):
+        active = list(range(1_000_000))
+        err = RoundLimitExceeded(5, active, contexts=None)
+        msg = str(err)
+        assert "1000000 vertices still active after 5 rounds" in msg
+        assert f"... {1_000_000 - 12} more" in msg
+        # the message names only the 12-vertex prefix
+        assert "v11" in msg and "v12" not in msg
+
+    def test_summaries_lazy_and_capped(self):
+        active = list(range(RoundLimitExceeded.SUMMARY_CAP + 5))
+        err = RoundLimitExceeded(2, active, contexts=None)
+        assert err._summaries is None  # nothing materialized yet
+        s = err.summaries
+        assert len(s) == RoundLimitExceeded.SUMMARY_CAP
+        assert s is err.summaries  # cached after first access
+
+    def test_construction_never_touches_contexts_beyond_prefix(self):
+        """The engine hands the live context dict over; building the
+        exception must read only the message prefix, so a million-vertex
+        failure costs O(shown), not O(n)."""
+        reads = []
+
+        class StubCtx:
+            round = 9
+            halted = {}
+            committed = False
+
+            def active_degree(self):
+                return 0
+
+        class CountingContexts(dict):
+            def __getitem__(self, key):
+                reads.append(key)
+                return StubCtx()
+
+        active = list(range(50_000))
+        err = RoundLimitExceeded(9, active, contexts=CountingContexts())
+        assert len(reads) == RoundLimitExceeded._SHOWN
+        assert "v0 (round 9, 0 active / 0 halted nbrs)" in str(err)
+
+
 @pytest.mark.parametrize("engine", ENGINES)
 def test_crash_induced_nontermination_names_survivors(engine):
     """A crashed hub leaves its leaf neighbors waiting forever: the

@@ -82,6 +82,48 @@ class TestEngines:
         )
         assert fast.engine == "fast" and ref.engine == "reference"
 
+    @pytest.mark.parametrize(
+        "name", [s.name for s in zoo.all_specs() if s.bulk_capable]
+    )
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("workload", ["forest_union_a3", "gnp_sparse"])
+    def test_bulk_agrees_through_execute(self, name, seed, workload):
+        g, a, ids = _instance(n=80, seed=seed, workload=workload)
+        fast = zoo.execute(name, g, a, ids, seed, engine="fast")
+        bulk = zoo.execute(name, g, a, ids, seed, engine="bulk")
+        payload = _PAYLOAD[zoo.get(name).problem]
+        assert payload(bulk.result) == payload(fast.result)
+        m_fast, m_bulk = fast.result.metrics, bulk.result.metrics
+        assert m_bulk.rounds == m_fast.rounds
+        assert m_bulk.active_trace == m_fast.active_trace
+        assert m_bulk.messages_per_round == m_fast.messages_per_round
+        assert bulk.engine == "bulk"
+        bulk.validate(g)
+
+    def test_bulk_rejected_for_non_capable_spec(self):
+        g, a, ids = _instance(n=24)
+        assert not zoo.get("a2").bulk_capable
+        with pytest.raises(ValueError, match="no bulk driver") as exc:
+            zoo.execute("a2", g, a, ids, 0, engine="bulk")
+        # the error lists what *is* bulk-capable
+        assert "partition" in str(exc.value)
+
+    def test_bulk_rejected_for_baselines(self):
+        g, a, ids = _instance(n=24)
+        with pytest.raises(ValueError, match="baseline.*no bulk driver"):
+            zoo.execute("partition", g, a, ids, 0, baseline=True, engine="bulk")
+
+    def test_bulk_rejects_fault_plans(self):
+        g, a, ids = _instance(n=24)
+        plan = FaultPlan(seed=1, crashes=CrashSpec(hazard=0.1))
+        with pytest.raises(ValueError, match="fault injection"):
+            zoo.execute("partition", g, a, ids, 0, engine="bulk", faults=plan)
+
+    def test_bulk_accepts_empty_fault_plan(self):
+        g, a, ids = _instance(n=24)
+        ex = zoo.execute("partition", g, a, ids, 0, engine="bulk", faults=FaultPlan())
+        assert ex.completed and not ex.faulted
+
 
 class TestFaults:
     def test_empty_plan_counts_as_fault_free(self):
@@ -150,6 +192,16 @@ class TestObs:
         assert meta["algo"] == "a2"
         assert meta["engine"] == "fast"
         assert meta["extra"] == "x"
+
+    def test_bulk_trace_meta_records_engine(self, tmp_path):
+        g, a, ids = _instance(n=40)
+        path = str(tmp_path / "bulk.jsonl")
+        ex = zoo.execute("partition", g, a, ids, 0, engine="bulk", trace=path)
+        assert ex.completed
+        with open(path) as fh:
+            head = json.loads(fh.readline())
+        meta = head.get("meta", head)
+        assert meta["engine"] == "bulk"
 
     def test_profile_attaches_phase_profiler(self):
         g, a, ids = _instance(n=40)
