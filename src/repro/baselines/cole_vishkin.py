@@ -67,6 +67,12 @@ def run_ring_three_coloring(
         if not graph.has_edge(v, successor[v]):
             raise ValueError(f"successor[{v}] = {successor[v]} is not a neighbor")
     if current_engine() == "bulk":
+        from repro.runtime.shard import current_shards
+
+        if current_shards() is not None:
+            from repro.core.shard import sharded_ring_three_coloring
+
+            return sharded_ring_three_coloring(graph, successor, ids=ids, seed=seed)
         from repro.core.bulk import bulk_ring_three_coloring
 
         return bulk_ring_three_coloring(graph, successor, ids=ids, seed=seed)

@@ -68,6 +68,22 @@ def build_parser() -> argparse.ArgumentParser:
         "engine (bulk-capable algorithms only)",
     )
     run.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="shard the bulk-engine run across N worker processes over "
+        "shared-memory CSR (requires --engine bulk; results are "
+        "bit-identical to the unsharded bulk engine)",
+    )
+    run.add_argument(
+        "--partitioner",
+        default="range",
+        choices=("range", "edge"),
+        help="vertex partitioner for --shards: equal vertex ranges "
+        "(default) or balanced adjacency mass",
+    )
+    run.add_argument(
         "--trace-out",
         default=None,
         metavar="PATH",
@@ -264,6 +280,8 @@ def cmd_run(args, out=None) -> int:
         ids,
         args.seed,
         engine=getattr(args, "engine", "fast"),
+        shards=getattr(args, "shards", None),
+        partitioner=getattr(args, "partitioner", "range"),
         faults=plan,
         trace=trace_out,
         trace_meta={

@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.graphs.graph import Graph
 from repro.runtime.bulk import (
+    BULK_CHUNK,
     finalize_run,
     gather_rows,
     id_space,
@@ -62,6 +63,43 @@ def _account_round(
     recv.append(int(np.unique(nbrs[live]).size))
 
 
+def _account_round_chunked(
+    term: np.ndarray,
+    offsets: np.ndarray,
+    indices: np.ndarray,
+    joiners: np.ndarray,
+    rnd: int,
+    sent: list[int],
+    msgs: list[int],
+    recv: list[int],
+) -> np.ndarray:
+    """Chunked twin of :func:`_account_round` for oversized rounds.
+
+    Processes ``joiners`` in :data:`BULK_CHUNK`-sender chunks, counting
+    distinct live receivers with a boolean scatter mask (equal to the
+    ``np.unique`` count) and accumulating the next round's JOIN-arrival
+    bincount, which is returned so the caller never materialises the full
+    concatenated neighbor multiset.
+    """
+    n = term.size
+    counted = 0
+    same = 0
+    recv_mask = np.zeros(n, dtype=bool)
+    inc = np.zeros(n, dtype=np.int64)
+    for lo in range(0, joiners.size, BULK_CHUNK):
+        nb = gather_rows(offsets, indices, joiners[lo : lo + BULK_CHUNK])
+        t = term[nb]
+        live = (t == 0) | (t > rnd)
+        counted += int(live.sum())
+        same += int((t == rnd).sum())
+        recv_mask[nb[live]] = True
+        inc += np.bincount(nb, minlength=n)
+    sent.append(counted + same)
+    msgs.append(counted + int(joiners.size))
+    recv.append(int(recv_mask.sum()))
+    return inc
+
+
 # ---------------------------------------------------------------------------
 # Procedure Partition (Theorem 6.3) -- the n = 10^6 workhorse
 # ---------------------------------------------------------------------------
@@ -88,7 +126,7 @@ def bulk_partition(
     A = degree_bound(a, eps)
     if max_rounds is None:
         max_rounds = partition_length_bound(n, eps) + 4
-    offsets, indices = graph.csr()
+    offsets, indices = graph.csr(dtype="auto")
     deg = (offsets[1:] - offsets[:-1]).astype(np.int64)
 
     term = np.zeros(n, dtype=np.int64)
@@ -97,21 +135,30 @@ def bulk_partition(
     msgs: list[int] = []
     recv: list[int] = []
     active = np.arange(n, dtype=np.int64)
-    pending = indices[:0]
+    inc = None
     rnd = 0
     while active.size:
         rnd += 1
         if rnd > max_rounds:
             raise RoundLimitExceeded(max_rounds, active.tolist(), None)
-        if pending.size:
+        if inc is not None:
             # JOIN broadcasts from last round's joiners arrive now
-            heard += np.bincount(pending, minlength=n)
+            heard += inc
+            inc = None
         join = (deg[active] - heard[active]) <= A
         joiners = active[join]
         term[joiners] = rnd
-        nbrs = gather_rows(offsets, indices, joiners)
-        _account_round(term, nbrs, rnd, int(joiners.size), sent, msgs, recv)
-        pending = nbrs
+        if joiners.size <= BULK_CHUNK:
+            nbrs = gather_rows(offsets, indices, joiners)
+            _account_round(term, nbrs, rnd, int(joiners.size), sent, msgs, recv)
+            if nbrs.size:
+                inc = np.bincount(nbrs, minlength=n)
+        else:
+            # Chunked pass: identical accounting, scratch bounded by the
+            # chunk's degree mass instead of the round's.
+            inc = _account_round_chunked(
+                term, offsets, indices, joiners, rnd, sent, msgs, recv
+            )
         active = active[~join]
 
     outputs = {v: int(term[v]) for v in range(n)}
@@ -150,7 +197,7 @@ def bulk_luby_mis(
     ids_arr = resolve_ids(graph, ids)
     if max_rounds is None:
         max_rounds = 64 * (n.bit_length() + 4) + 64
-    offsets, indices = graph.csr()
+    offsets, indices = graph.csr(dtype="auto")
     deg = (offsets[1:] - offsets[:-1]).astype(np.int64)
 
     rngs: list[Random | None] = [None] * n
@@ -252,7 +299,7 @@ def bulk_ring_three_coloring(
 
     n = graph.n
     ids_arr = resolve_ids(graph, ids)
-    offsets, indices = graph.csr()
+    offsets, indices = graph.csr(dtype="auto")
     deg = (offsets[1:] - offsets[:-1]).astype(np.int64)
     m2 = int(indices.size)
     steps = _cv_steps(id_space(ids_arr))
@@ -337,7 +384,7 @@ def bulk_defective_coloring(
         ]
 
     steps = len(schedule)
-    offsets, indices = graph.csr()
+    offsets, indices = graph.csr(dtype="auto")
     deg = (offsets[1:] - offsets[:-1]).astype(np.int64)
     m2 = int(indices.size)
     n_iso = int((deg == 0).sum())

@@ -1,0 +1,725 @@
+"""Sharded (multi-process BSP) drivers for the bulk-capable algorithms.
+
+Each ``sharded_*`` driver is the shard-parallel twin of a
+:mod:`repro.core.bulk` columnar driver: same signature surface, same
+result type, **bit-identical** outputs and round accounting for any
+shard count (the matrix in ``tests/runtime/test_shard.py`` pins
+sharded == bulk == fast).  The parent process publishes the CSR view and
+cross-shard state via :class:`repro.runtime.shard.SharedArrays`, workers
+run :data:`SHARD_KERNELS` entries over contiguous vertex ranges, and the
+parent folds the merged results through the same ``finalize`` accounting
+the unsharded engine uses.
+
+The owner-computes translation of message passing
+-------------------------------------------------
+The bulk drivers account rounds **sender-side**: gather the joiners'
+CSR rows and bucket each copy by the receiver's termination state.  A
+worker cannot scatter into another shard's state, so the sharded kernels
+evaluate the identical sums **receiver-side**: after the round barrier a
+shard scans the rows of its own still-relevant vertices (active, crashed
+or terminating this round) and counts neighbors that broadcast this
+round.  Undirected adjacency makes the two pair-sets equal, and every
+receiver is owned by exactly one shard, so per-shard partial sums
+allreduce to exactly the unsharded totals — including the distinct-
+receiver count, which decomposes by ownership.
+
+Fault draws (crash hazard, message drop) are pure counter-based
+functions of ``(seed, session round, vertex)`` / ``(..., src, dst, k)``
+(:mod:`repro.faults.plan`), so workers evaluate them locally and the
+injected stream is invariant under the shard count.
+"""
+
+from __future__ import annotations
+
+from random import Random
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.runtime.bulk import (
+    BulkUnsupported,
+    finalize_run,
+    gather_rows,
+    id_space,
+    require_no_faults,
+    resolve_ids,
+)
+from repro.runtime.network import RoundLimitExceeded
+from repro.runtime.shard import (
+    SharedArrays,
+    ShardTask,
+    current_shards,
+    finalize_faulted_run,
+    resolve_bounds,
+    run_sharded,
+)
+
+
+def _local_deg(offsets: np.ndarray, lo: int, hi: int) -> np.ndarray:
+    return (offsets[lo + 1 : hi + 1] - offsets[lo:hi]).astype(np.int64)
+
+
+def _launch(
+    kernel: str,
+    graph: Graph,
+    publish: dict[str, Any],
+    params: dict[str, Any],
+    copy_keys: Sequence[str] = (),
+) -> tuple[list[Any], dict[str, np.ndarray], list[int]]:
+    """Partition, publish, run one kernel, copy results out, clean up."""
+    session = current_shards()
+    assert session is not None, "sharded driver called without a shard session"
+    bounds = resolve_bounds(graph, session)
+    offsets, indices = graph.csr(dtype="auto")
+    shared = SharedArrays()
+    try:
+        shared.publish("offsets", offsets)
+        shared.publish("indices", indices)
+        for key, val in publish.items():
+            if isinstance(val, np.ndarray):
+                shared.publish(key, val)
+            else:  # (shape, dtype) request for a zero-filled array
+                shape, dtype = val
+                shared.publish(key, shape=shape, dtype=dtype)
+        payloads = run_sharded(kernel, bounds, shared, params)
+        copies = {key: shared.views[key].copy() for key in copy_keys}
+    finally:
+        shared.cleanup()
+    return payloads, copies, bounds
+
+
+# ---------------------------------------------------------------------------
+# Procedure Partition — with optional crash-stop / message-drop adversary
+# ---------------------------------------------------------------------------
+
+
+def _kernel_partition(task: ShardTask) -> dict[str, Any]:
+    """One shard of Procedure Partition.
+
+    Per round: (A) pull last round's JOINs from neighbor ``term`` state,
+    run the degree-threshold join test, write own terminations; barrier;
+    (B) pull this round's JOIN copies receiver-side for the accounting
+    buckets; allreduce the round totals.  Crash and drop draws replicate
+    the fast engine's adversary via the pure counter-based functions.
+    """
+    from repro.faults.plan import CrashSpec, drop_fate
+
+    p = task.params
+    offsets = task.views["offsets"]
+    indices = task.views["indices"]
+    term = task.views["term"]
+    lo, hi = task.lo, task.hi
+    comm = task.comm
+    n = p["n"]
+    A = p["A"]
+    max_rounds = p["max_rounds"]
+    fseed = p["fault_seed"]
+    crash_spec = CrashSpec(**p["crashes"]) if p.get("crashes") else None
+    drop = p.get("drop", 0.0)
+    round_offset = p.get("round_offset", 0)
+
+    size = hi - lo
+    deg_loc = _local_deg(offsets, lo, hi)
+    heard = np.zeros(size, dtype=np.int64)
+    alive = np.ones(size, dtype=bool)
+    for v in p.get("pre_crashed", ()):
+        if lo <= v < hi:
+            alive[v - lo] = False
+    dead = np.array(
+        [v for v in p.get("pre_crashed", ()) if lo <= v < hi], dtype=np.int64
+    )
+    crash_records: list[tuple[int, int]] = []
+    per_round: list[tuple[int, int, int, int]] = []
+    total_active = n - len(p.get("pre_crashed", ()))
+    watchdog = None
+    rnd = 0
+
+    while total_active > 0:
+        rnd += 1
+        srnd = round_offset + rnd
+        if crash_spec is not None:
+            newly = [
+                v
+                for v in (np.flatnonzero(alive) + lo).tolist()
+                if crash_spec.strikes(fseed, srnd, v)
+            ]
+            if newly:
+                alive[np.asarray(newly, dtype=np.int64) - lo] = False
+                dead = np.concatenate((dead, np.asarray(newly, dtype=np.int64)))
+                crash_records.extend((rnd, v) for v in newly)
+            (total_crashed,) = comm.allreduce(len(newly))
+            total_active -= total_crashed
+            if total_active == 0:
+                break
+        if rnd > max_rounds:
+            watchdog = (np.flatnonzero(alive) + lo).tolist()
+            break
+
+        # Phase A: hear last round's JOINs, run the join test, terminate.
+        act_idx = np.flatnonzero(alive)
+        act = act_idx + lo
+        if rnd > 1 and act.size:
+            nb = gather_rows(offsets, indices, act)
+            src = np.repeat(act, deg_loc[act_idx])
+            jm = term[nb] == rnd - 1
+            us, vs = nb[jm], src[jm]
+            if drop and us.size:
+                keep = np.fromiter(
+                    (
+                        not drop_fate(fseed, srnd - 1, int(u), int(v), 0, drop)
+                        for u, v in zip(us.tolist(), vs.tolist())
+                    ),
+                    dtype=bool,
+                    count=us.size,
+                )
+                vs = vs[keep]
+            heard += np.bincount(vs - lo, minlength=size)
+        join = (deg_loc[act_idx] - heard[act_idx]) <= A
+        joiners = act[join]
+        term[joiners] = rnd
+        alive[act_idx[join]] = False
+        comm.sync()
+
+        # Phase B: receiver-side accounting of this round's JOIN copies.
+        cand = np.concatenate((act, dead)) if dead.size else act
+        counted = same = recv_loc = 0
+        if cand.size:
+            nb = gather_rows(offsets, indices, cand)
+            src = np.repeat(cand, deg_loc[cand - lo])
+            jm = term[nb] == rnd
+            us, vs = nb[jm], src[jm]
+            if drop and us.size:
+                keep = np.fromiter(
+                    (
+                        not drop_fate(fseed, srnd, int(u), int(v), 0, drop)
+                        for u, v in zip(us.tolist(), vs.tolist())
+                    ),
+                    dtype=bool,
+                    count=us.size,
+                )
+                vs = vs[keep]
+            tv = term[vs]
+            live = tv == 0
+            counted = int(live.sum())
+            same = int((tv == rnd).sum())
+            recv_loc = int(np.unique(vs[live]).size)
+        g = comm.allreduce(
+            counted, same, recv_loc, int(joiners.size), int(alive.sum())
+        )
+        per_round.append((g[0] + g[1], g[0] + g[3], g[2], g[3]))
+        total_active = g[4]
+
+    return {
+        "rounds": per_round,
+        "crashes": crash_records,
+        "watchdog": watchdog,
+        "session_rounds": rnd,
+    }
+
+
+def sharded_partition(
+    graph: Graph,
+    a: int,
+    eps: float = 1.0,
+    ids: Sequence[int] | None = None,
+    seed: int = 0,
+    max_rounds: int | None = None,
+):
+    """Sharded Procedure Partition; crash-stop and message-drop plans are
+    supported (the one bulk-capable algorithm with a fault seam)."""
+    from repro.core.common import degree_bound, partition_length_bound
+    from repro.core.partition import PartitionResult
+    from repro.faults.plan import current
+
+    n = graph.n
+    resolve_ids(graph, ids)  # IDs only validate; Partition is ID-oblivious
+    A = degree_bound(a, eps)
+    if max_rounds is None:
+        max_rounds = partition_length_bound(n, eps) + 4
+
+    injector = current()
+    params: dict[str, Any] = {
+        "n": n,
+        "A": A,
+        "max_rounds": max_rounds,
+        "fault_seed": 0,
+    }
+    pre_crashed: list[int] = []
+    if injector is not None:
+        plan = injector.plan
+        mf = plan.messages
+        if mf is not None and (mf.duplicate or mf.delay):
+            raise BulkUnsupported(
+                "sharded partition supports crash-stop and message-drop "
+                "faults only; duplicate/delay plans need the 'fast' or "
+                "'reference' engine"
+            )
+        pre_crashed = sorted(v for v in injector.begin_run(None) if v < n)
+        params["fault_seed"] = plan.seed
+        params["round_offset"] = injector._round
+        params["pre_crashed"] = pre_crashed
+        if plan.crashes is not None and plan.crashes.active:
+            params["crashes"] = {
+                "at": dict(plan.crashes.at),
+                "hazard": plan.crashes.hazard,
+            }
+        if mf is not None and mf.drop:
+            params["drop"] = mf.drop
+
+    payloads, copies, _bounds = _launch(
+        "partition",
+        graph,
+        {"term": ((n,), np.int64)},
+        params,
+        copy_keys=("term",),
+    )
+    term = copies["term"]
+
+    wd = [p["watchdog"] for p in payloads]
+    if any(w is not None for w in wd):
+        if injector is not None:
+            injector.absorb_rounds(
+                payloads[0]["session_rounds"],
+                [v for p in payloads for (_r, v) in p["crashes"]],
+            )
+        active_all = [v for w in wd if w is not None for v in w]
+        raise RoundLimitExceeded(max_rounds, active_all, None)
+
+    rounds = payloads[0]["rounds"]
+    sent = [r[0] for r in rounds]
+    msgs = [r[1] for r in rounds]
+    recv = [r[2] for r in rounds]
+
+    if injector is None:
+        outputs = {v: int(term[v]) for v in range(n)}
+        res = finalize_run(outputs, term, sent, msgs, recv)
+    else:
+        crash_rounds = dict(
+            sorted(((v, r) for p in payloads for (r, v) in p["crashes"]))
+        )
+        injector.absorb_rounds(
+            payloads[0]["session_rounds"], list(crash_rounds)
+        )
+        outputs = {v: int(term[v]) for v in range(n) if term[v] > 0}
+        res = finalize_faulted_run(
+            outputs,
+            term,
+            crash_rounds,
+            pre_crashed,
+            sent,
+            msgs,
+            recv,
+            crashed_all=[v for v in injector.crashed if v < n],
+        )
+    return PartitionResult(h_index=dict(res.outputs), A=A, metrics=res.metrics)
+
+
+# ---------------------------------------------------------------------------
+# Luby MIS
+# ---------------------------------------------------------------------------
+
+
+def _kernel_luby(task: ShardTask) -> dict[str, Any]:
+    """One shard of lockstep Luby MIS.
+
+    Per attempt: draw own priorities (write ``rand``); barrier; account
+    round 2k-1 receiver-side; win-check against neighbor ``rand``/``ids``
+    and write own winner terminations; barrier; account round 2k, retire
+    own winners and losers; allreduce the attempt's totals.  Per-vertex
+    ``random.Random`` streams live only for the shard's own slice.
+    """
+    p = task.params
+    offsets = task.views["offsets"]
+    indices = task.views["indices"]
+    term = task.views["term"]
+    rand = task.views["rand"]
+    alive = task.views["alive"]
+    ids_arr = task.views["ids"]
+    lo, hi = task.lo, task.hi
+    comm = task.comm
+    n = p["n"]
+    seed = p["seed"]
+    max_rounds = p["max_rounds"]
+
+    size = hi - lo
+    deg_loc = _local_deg(offsets, lo, hi)
+    rngs: list[Random | None] = [None] * size
+    per_round: list[tuple[int, int, int, int]] = []
+    prev_l = np.zeros(0, dtype=np.int64)
+    total_alive = n
+    watchdog = None
+    k = 0
+
+    while total_alive > 0:
+        k += 1
+        r1 = 2 * k - 1
+        act_idx = np.flatnonzero(alive[lo:hi])
+        act = act_idx + lo
+        if r1 > max_rounds:
+            watchdog = ("r1", act.tolist(), prev_l.tolist())
+            break
+        for i, v in zip(act_idx.tolist(), act.tolist()):
+            rng = rngs[i]
+            if rng is None:
+                rng = rngs[i] = Random(f"{seed}:{int(ids_arr[v])}:seed")
+            rand[v] = rng.random()
+        comm.sync()
+
+        # round 2k-1: priorities broadcast + previous losers' announce
+        cand = np.concatenate((act, prev_l)) if prev_l.size else act
+        c1 = s1 = rv1 = 0
+        if cand.size:
+            nb = gather_rows(offsets, indices, cand)
+            src = np.repeat(cand, deg_loc[cand - lo])
+            bm = alive[nb] | (term[nb] == r1)
+            vs = src[bm]
+            tv = term[vs]
+            live = tv == 0
+            c1 = int(live.sum())
+            s1 = int((tv == r1).sum())
+            rv1 = int(np.unique(vs[live]).size)
+        h1 = int(prev_l.size)
+
+        # round 2k: win check on (rand, id) against alive neighbors
+        r2 = 2 * k
+        if r2 > max_rounds:
+            watchdog = ("r2", act.tolist(), [])
+            break
+        winners = np.zeros(0, dtype=np.int64)
+        nb2 = src2 = None
+        if act.size:
+            nb2 = gather_rows(offsets, indices, act)
+            src2 = np.repeat(act, deg_loc[act_idx])
+            am = alive[nb2]
+            sr_a, nb_a = src2[am], nb2[am]
+            beat = (rand[nb_a] > rand[sr_a]) | (
+                (rand[nb_a] == rand[sr_a]) & (ids_arr[nb_a] > ids_arr[sr_a])
+            )
+            beaten = np.bincount(sr_a[beat] - lo, minlength=size).astype(bool)
+            winners = act[~beaten[act_idx]]
+            term[winners] = r2
+        comm.sync()
+
+        # account 2k (losers still term 0, matching the bulk call order),
+        # then retire own winners and detect own losers
+        c2 = s2 = rv2 = 0
+        losers = np.zeros(0, dtype=np.int64)
+        if act.size:
+            wm = term[nb2] == r2
+            vs = src2[wm]
+            tv = term[vs]
+            live = tv == 0
+            c2 = int(live.sum())
+            s2 = int((tv == r2).sum())
+            rv2 = int(np.unique(vs[live]).size)
+            alive[winners] = False
+            has_wnb = np.bincount(
+                src2[wm] - lo, minlength=size
+            ).astype(bool)
+            lm = has_wnb[act_idx] & (term[act] == 0)
+            losers = act[lm]
+            term[losers] = r2 + 1
+            alive[losers] = False
+        for i in (winners - lo).tolist():
+            rngs[i] = None
+        for i in (losers - lo).tolist():
+            rngs[i] = None
+        prev_l = losers
+
+        g = comm.allreduce(
+            c1, s1, rv1, h1,
+            c2, s2, rv2, int(winners.size),
+            int(losers.size), int(alive[lo:hi].sum()),
+        )
+        per_round.append((g[0] + g[1], g[0] + g[3], g[2], g[3]))
+        per_round.append((g[4] + g[5], g[4] + g[7], g[6], g[7]))
+        total_losers = g[8]
+        total_alive = g[9]
+
+    if watchdog is None and k and total_losers:
+        # the final losers announce + terminate one round after the loop
+        r = 2 * k + 1
+        s3 = 0
+        own_l = prev_l
+        if own_l.size:
+            nb = gather_rows(offsets, indices, own_l)
+            src = np.repeat(own_l, deg_loc[own_l - lo])
+            bm = term[nb] == r
+            s3 = int((term[src[bm]] == r).sum())
+        g = comm.allreduce(s3, int(own_l.size))
+        per_round.append((g[0], g[1], 0, g[1]))
+
+    return {"rounds": per_round, "watchdog": watchdog}
+
+
+def sharded_luby_mis(
+    graph: Graph,
+    ids: Sequence[int] | None = None,
+    seed: int = 0,
+    max_rounds: int | None = None,
+):
+    """Sharded Luby MIS (fault-free only, like its bulk twin)."""
+    require_no_faults("sharded_luby_mis")
+    from repro.core.extension import MISResult
+
+    n = graph.n
+    ids_arr = resolve_ids(graph, ids)
+    if max_rounds is None:
+        max_rounds = 64 * (n.bit_length() + 4) + 64
+
+    payloads, copies, _bounds = _launch(
+        "luby",
+        graph,
+        {
+            "term": ((n,), np.int64),
+            "rand": ((n,), np.float64),
+            "alive": np.ones(n, dtype=bool),
+            "ids": ids_arr,
+        },
+        {"n": n, "seed": seed, "max_rounds": max_rounds},
+        copy_keys=("term",),
+    )
+    term = copies["term"]
+
+    wd = [p["watchdog"] for p in payloads]
+    if any(w is not None for w in wd):
+        acts = [v for w in wd if w is not None for v in w[1]]
+        prevs = [v for w in wd if w is not None for v in w[2]]
+        raise RoundLimitExceeded(max_rounds, acts + prevs, None)
+
+    rounds = payloads[0]["rounds"]
+    outputs: dict[int, Any] = {
+        v: (int(t) // 2, True) if t % 2 == 0 else ((int(t) - 1) // 2, False)
+        for v, t in enumerate(term.tolist())
+    }
+    res = finalize_run(
+        outputs,
+        term,
+        [r[0] for r in rounds],
+        [r[1] for r in rounds],
+        [r[2] for r in rounds],
+    )
+    return MISResult(
+        in_mis={v: flag for v, (att, flag) in res.outputs.items()},
+        h_index={v: att for v, (att, flag) in res.outputs.items()},
+        metrics=res.metrics,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Cole-Vishkin ring 3-coloring
+# ---------------------------------------------------------------------------
+
+
+def _kernel_cole_vishkin(task: ShardTask) -> dict[str, Any]:
+    """One shard of Cole-Vishkin: the color array is double-buffered so a
+    step reads buffer ``s & 1`` and writes the other; one barrier per
+    halving/recolor step."""
+    p = task.params
+    offsets = task.views["offsets"]
+    indices = task.views["indices"]
+    buf = task.views["colors"]  # (2, n)
+    succ = task.views["succ"]
+    lo, hi = task.lo, task.hi
+    comm = task.comm
+    steps = p["steps"]
+
+    deg_loc = _local_deg(offsets, lo, hi)
+    cur = 0
+    for _ in range(steps):
+        c0, c1 = buf[cur], buf[1 - cur]
+        cs = c0[succ[lo:hi]]
+        diff = c0[lo:hi] ^ cs
+        low = diff & -diff
+        i = np.log2(low.astype(np.float64)).astype(np.int64)
+        c1[lo:hi] = 2 * i + ((c0[lo:hi] >> i) & 1)
+        comm.sync()
+        cur = 1 - cur
+    own = np.arange(lo, hi, dtype=np.int64)
+    src = np.repeat(own, deg_loc) - lo
+    nb = indices[offsets[lo] : offsets[hi]]
+    size = hi - lo
+    for cls in (5, 4, 3):
+        c0, c1 = buf[cur], buf[1 - cur]
+        nbc = c0[nb]
+        used0 = np.zeros(size, dtype=bool)
+        used0[src[nbc == 0]] = True
+        used1 = np.zeros(size, dtype=bool)
+        used1[src[nbc == 1]] = True
+        pick = np.where(~used0, 0, np.where(~used1, 1, 2))
+        c1[lo:hi] = np.where(c0[lo:hi] == cls, pick, c0[lo:hi])
+        comm.sync()
+        cur = 1 - cur
+    return {"cur": cur}
+
+
+def sharded_ring_three_coloring(
+    graph: Graph,
+    successor: Sequence[int],
+    ids: Sequence[int] | None = None,
+    seed: int = 0,
+):
+    """Sharded Cole-Vishkin; accounting is closed-form in the parent."""
+    require_no_faults("sharded_ring_three_coloring")
+    from repro.baselines.cole_vishkin import _cv_steps
+    from repro.core.coloring import ColoringResult
+
+    n = graph.n
+    ids_arr = resolve_ids(graph, ids)
+    offsets, _ = graph.csr(dtype="auto")
+    deg = (offsets[1:] - offsets[:-1]).astype(np.int64)
+    m2 = int(offsets[-1])
+    steps = _cv_steps(id_space(ids_arr))
+
+    if n:
+        colors0 = np.zeros((2, n), dtype=np.int64)
+        colors0[0] = ids_arr
+        payloads, copies, _bounds = _launch(
+            "cole_vishkin",
+            graph,
+            {
+                "colors": colors0,
+                "succ": np.asarray(list(successor), dtype=np.int64),
+            },
+            {"n": n, "steps": steps},
+            copy_keys=("colors",),
+        )
+        c = copies["colors"][payloads[0]["cur"]]
+    else:
+        c = np.zeros(0, dtype=np.int64)
+
+    rounds_total = steps + 4
+    if n:
+        term = np.full(n, rounds_total, dtype=np.int64)
+        n_recv = int((deg > 0).sum())
+        sent = [m2] * (rounds_total - 1) + [0]
+        msgs = [m2] * (rounds_total - 1) + [n]
+        recv = [n_recv] * (rounds_total - 1) + [0]
+    else:
+        term = np.zeros(0, dtype=np.int64)
+        sent, msgs, recv = [], [], []
+    outputs = {v: (1, int(c[v])) for v in range(n)}
+    res = finalize_run(outputs, term, sent, msgs, recv)
+    return ColoringResult(
+        colors={v: col for v, (h, col) in res.outputs.items()},
+        h_index={v: h for v, (h, col) in res.outputs.items()},
+        metrics=res.metrics,
+        palette_bound=3,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Defective coloring
+# ---------------------------------------------------------------------------
+
+
+def _kernel_defective(task: ShardTask) -> dict[str, Any]:
+    """One shard of the defective-coloring schedule.
+
+    The cover-free family schedule is recomputed locally (it is a pure
+    function of ``(id_space, A, d)``), and each family step runs the
+    per-vertex ``fam.pick`` loop over the shard's own slice against the
+    previous buffer — this Python loop is exactly the part that profits
+    from sharding.
+    """
+    from repro.core.defective import defective_schedule
+
+    p = task.params
+    offsets = task.views["offsets"]
+    indices = task.views["indices"]
+    buf = task.views["colors"]  # (2, n)
+    lo, hi = task.lo, task.hi
+    comm = task.comm
+
+    schedule = defective_schedule(p["space"], p["A"], p["d"])
+    off = (offsets[lo : hi + 1] - offsets[lo]).tolist()
+    nb = indices[offsets[lo] : offsets[hi]].tolist()
+    cur = 0
+    for fam in schedule:
+        c0 = buf[cur].tolist()
+        c1 = buf[1 - cur]
+        c1[lo:hi] = [
+            fam.pick(c0[v], [c0[u] for u in nb[off[i] : off[i + 1]]])
+            for i, v in enumerate(range(lo, hi))
+        ]
+        comm.sync()
+        cur = 1 - cur
+    return {"cur": cur}
+
+
+def sharded_defective_coloring(
+    graph: Graph,
+    d: int,
+    degree_limit: int | None = None,
+    ids: Sequence[int] | None = None,
+    seed: int = 0,
+):
+    """Sharded d-defective coloring; accounting closed-form in the parent."""
+    require_no_faults("sharded_defective_coloring")
+    from repro.core.defective import DefectiveColoringResult, defective_schedule
+
+    n = graph.n
+    ids_arr = resolve_ids(graph, ids)
+    A = degree_limit if degree_limit is not None else graph.max_degree()
+    A = max(A, 1)
+    space = id_space(ids_arr)
+    schedule = defective_schedule(space, A, d)
+    bound = schedule[-1].ground_size if schedule else space
+
+    if n and schedule:
+        colors0 = np.zeros((2, n), dtype=np.int64)
+        colors0[0] = ids_arr
+        payloads, copies, _bounds = _launch(
+            "defective",
+            graph,
+            {"colors": colors0},
+            {"n": n, "space": space, "A": A, "d": d},
+            copy_keys=("colors",),
+        )
+        colors = copies["colors"][payloads[0]["cur"]].tolist()
+    else:
+        colors = [int(x) for x in ids_arr]
+
+    steps = len(schedule)
+    offsets, _ = graph.csr(dtype="auto")
+    deg = (offsets[1:] - offsets[:-1]).astype(np.int64)
+    m2 = int(offsets[-1])
+    n_iso = int((deg == 0).sum())
+    n_ni = n - n_iso
+    term = np.ones(n, dtype=np.int64)
+    if steps and n_ni:
+        term[deg > 0] = steps + 1
+        sent = [m2] * steps + [0]
+        msgs = [m2 + n_iso] + [m2] * (steps - 1) + [n_ni]
+        recv = [n_ni] * steps + [0]
+    elif n:
+        sent, msgs, recv = [0], [n], [0]
+    else:
+        term = np.zeros(0, dtype=np.int64)
+        sent, msgs, recv = [], [], []
+    outputs = {v: colors[v] for v in range(n)}
+    res = finalize_run(outputs, term, sent, msgs, recv)
+    return DefectiveColoringResult(
+        colors=dict(res.outputs),
+        metrics=res.metrics,
+        palette_bound=bound,
+        defect_bound=d,
+    )
+
+
+#: kernel name -> worker entry point (resolved inside worker processes)
+SHARD_KERNELS = {
+    "partition": _kernel_partition,
+    "luby": _kernel_luby,
+    "cole_vishkin": _kernel_cole_vishkin,
+    "defective": _kernel_defective,
+}
+
+#: generator driver function name -> sharded twin (mirrors BULK_DRIVERS)
+SHARD_DRIVERS = {
+    "run_partition": sharded_partition,
+    "run_luby_mis": sharded_luby_mis,
+    "run_ring_three_coloring": sharded_ring_three_coloring,
+    "run_defective_coloring": sharded_defective_coloring,
+}

@@ -65,6 +65,24 @@ from typing import Any, Iterator, Mapping
 from repro.obs.events import FaultCrash, FaultDelay, FaultDrop, FaultDup
 
 
+def _msg_key(seed: int, rnd: int, src: int, dst: int, k: int) -> str:
+    """The counter-based message-fate stream name (one RNG per copy)."""
+    return f"{seed}:msg:{rnd}:{src}:{dst}:{k}"
+
+
+def drop_fate(seed: int, rnd: int, src: int, dst: int, k: int, drop: float) -> bool:
+    """The counter-based drop draw: is copy ``k`` of ``src -> dst`` in
+    session round ``rnd`` dropped?
+
+    Pure function of its arguments — the same draw
+    :meth:`FaultInjector.fate` makes first, factored out so the sharded
+    pull-based executor (:mod:`repro.runtime.shard`), which evaluates
+    message fates receiver-side and possibly in a different order and
+    process, reproduces the identical drop stream under any shard count.
+    """
+    return random.Random(_msg_key(seed, rnd, src, dst, k)).random() < drop
+
+
 @dataclass(frozen=True)
 class CrashSpec:
     """Crash-stop schedule: explicit per-vertex rounds plus a hazard rate.
@@ -292,6 +310,19 @@ class FaultInjector:
             due = [(s, d, p) for (s, d, p) in due if d not in self.crashed]
         return crashes, due
 
+    def absorb_rounds(self, rounds: int, crashed) -> None:
+        """Fold a sharded/bulk execution's outcome into the session state.
+
+        The sharded executor evaluates the adversary's pure draws inside
+        its workers instead of driving :meth:`on_round`/:meth:`fate`;
+        afterwards the parent advances the session round counter by the
+        rounds the run consumed and records who crashed, so a later run
+        in the same fault session sees the identical adversary state a
+        generator-engine run would have left behind.
+        """
+        self._round += rounds
+        self.crashed.update(crashed)
+
     def take_delayed_count(self) -> int:
         """Copies held for later delivery this round (they left their
         senders, so they count as this round's traffic)."""
@@ -310,7 +341,7 @@ class FaultInjector:
         key = (src, dst)
         k = self._pair_k.get(key, 0)
         self._pair_k[key] = k + 1
-        rng = random.Random(f"{self.plan.seed}:msg:{self._round}:{src}:{dst}:{k}")
+        rng = random.Random(_msg_key(self.plan.seed, self._round, src, dst, k))
         emit = self._emit
         if mf.drop and rng.random() < mf.drop:
             if emit is not None:

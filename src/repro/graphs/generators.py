@@ -200,6 +200,67 @@ def union_of_forests(n: int, a: int, seed: int = 0, density: float = 1.0) -> Gra
     return Graph(n, edges)
 
 
+def forest_union_csr(n: int, a: int, seed: int = 0, dtype: str = "auto") -> Graph:
+    """A prescribed-arboricity forest union built columnar, CSR-direct.
+
+    Numpy-vectorised sibling of :func:`union_of_forests` for graphs too
+    large for the Python object layer (n >= 10^6): each of the ``a``
+    forests attaches ``perm[i]`` to ``perm[j]`` for a random ``j < i``
+    under an independent permutation, duplicates across forests are
+    collapsed, and the result is handed to :meth:`Graph.from_csr`
+    without ever materialising per-vertex tuples.  Arboricity <= a by
+    construction; the edge sample differs from ``union_of_forests`` at
+    equal seeds (different RNG), so treat the two as distinct workloads.
+
+    ``dtype`` is forwarded to :func:`repro.graphs.graph.csr_index_dtype`
+    ("auto" stores int32 CSR whenever n and 2m fit).
+    """
+    import numpy as np
+
+    from repro.graphs.graph import csr_index_dtype
+
+    if a < 1:
+        raise ValueError("arboricity must be >= 1")
+    if n < 2:
+        return Graph(n)
+    rng = np.random.default_rng(seed)
+    lo_parts = []
+    hi_parts = []
+    for _ in range(a):
+        perm = rng.permutation(n)
+        j = (rng.random(n - 1) * np.arange(1, n)).astype(np.int64)
+        u = perm[j]
+        v = perm[1:]
+        lo_parts.append(np.minimum(u, v))
+        hi_parts.append(np.maximum(u, v))
+    lo = np.concatenate(lo_parts)
+    hi = np.concatenate(hi_parts)
+    codes = np.unique(lo.astype(np.int64) * n + hi)
+    lo = codes // n
+    hi = codes % n
+    src = np.concatenate((lo, hi))
+    dst = np.concatenate((hi, lo))
+    order = np.lexsort((dst, src))
+    want = csr_index_dtype(n, src.size, dtype)
+    offsets = np.zeros(n + 1, dtype=want)
+    offsets[1:] = np.cumsum(np.bincount(src, minlength=n)).astype(want)
+    indices = dst[order].astype(want)
+    return Graph.from_csr(offsets, indices)
+
+
+def permutation_ids(n: int, seed: int = 0):
+    """A random permutation ID assignment as an int64 numpy array.
+
+    Vectorised sibling of :func:`random_ids` for columnar runs at
+    n >= 10^6 (the Python-list shuffle is the bottleneck there).  Uses
+    numpy's Generator, so the permutation differs from ``random_ids`` at
+    equal seeds.
+    """
+    import numpy as np
+
+    return np.random.default_rng(seed).permutation(n).astype(np.int64)
+
+
 def gnp(n: int, p: float, seed: int = 0) -> Graph:
     """Erdos-Renyi G(n, p) via geometric skipping (O(m) expected time)."""
     if not 0.0 <= p <= 1.0:

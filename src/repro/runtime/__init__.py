@@ -27,6 +27,12 @@ from repro.runtime.network import (
 from repro.runtime.metrics import RoundMetrics
 from repro.runtime.program import wait_rounds, wait_until_round
 from repro.runtime.reference import ReferenceSyncNetwork
+from repro.runtime.shard import (
+    ShardError,
+    ShardSession,
+    current_shards,
+    shard_session,
+)
 from repro.runtime.trace import Trace, TraceRecorder
 
 __all__ = [
@@ -39,13 +45,17 @@ __all__ = [
     "RoundMetrics",
     "RouterState",
     "RunResult",
+    "ShardError",
+    "ShardSession",
     "SyncNetwork",
     "Trace",
     "TraceRecorder",
     "bulk_broadcast_kernel",
     "current_engine",
+    "current_shards",
     "default_max_rounds",
     "engine_session",
+    "shard_session",
     "wait_rounds",
     "wait_until_round",
 ]

@@ -1,0 +1,445 @@
+"""Sharded single-run BSP execution over shared-memory CSR.
+
+The LOCAL model's synchronous round is a textbook BSP superstep, and the
+columnar bulk engine (:mod:`repro.runtime.bulk`) already expresses one
+round as a handful of array passes.  This module splits *one* such run
+across worker processes:
+
+* the vertex set is cut into **contiguous CSR ranges** by a pluggable
+  partitioner (:data:`repro.graphs.graph.PARTITIONERS`; ``"range"``
+  balances vertices, ``"edge"`` balances adjacency mass) — contiguity is
+  load-bearing, because concatenating per-shard ``np.flatnonzero``
+  results in shard order reproduces the global vertex order the
+  unsharded drivers emit;
+* the CSR arrays and all cross-shard algorithm state are published once
+  via :mod:`multiprocessing.shared_memory`, so workers map them
+  **zero-copy** — nothing graph-sized is ever pickled;
+* each worker runs its shard's columnar per-round kernel, following an
+  **owner-computes** discipline: a worker writes only its own vertex
+  slice but may read any vertex's state.  Cross-shard "messages" are
+  therefore pull-based reads of neighbor state after a round barrier —
+  the only data crossing process boundaries at the barrier are the few
+  ``int64`` words of an allreduce (per-round message totals, halts,
+  active counts) in a double-buffered scratch array;
+* the parent merges the per-round totals, per-vertex termination rounds
+  and crash records and feeds them through the same
+  :func:`repro.runtime.bulk.finalize_run` accounting, so outputs,
+  metrics and aggregate trace events are **bit-identical** to the
+  unsharded bulk engine for any shard count (the equivalence matrix in
+  ``tests/runtime/test_shard.py`` pins this).
+
+Fault injection under sharding reuses the fault layer's counter-based
+draws (:meth:`repro.faults.plan.CrashSpec.strikes`,
+:func:`repro.faults.plan.drop_fate`): every decision is a pure function
+of ``(seed, round, vertex)`` or ``(seed, round, src, dst, k)``, so the
+injected stream is invariant under the shard count by construction.
+
+Synchronisation protocol
+------------------------
+One :class:`multiprocessing.Barrier` over all shards.  The allreduce
+writes each shard's row of a ``(2, shards, K)`` scratch array, waits on
+the barrier once, then sums the column; buffers alternate by step parity
+so a fast worker entering allreduce ``s+1`` cannot clobber a slow
+worker's unread sums from step ``s`` (it writes the *other* buffer, and
+cannot reach step ``s+2`` — which reuses the first — before everyone
+passed the barrier of step ``s+1``, i.e. finished reading step ``s``).
+Plain state barriers rely on the same argument: writes to a shared array
+happen-before the barrier, reads after it.
+
+Lifecycle: the parent creates and unlinks every shared segment; workers
+attach and close.  Worker failure aborts the barrier so the remaining
+shards fail fast instead of deadlocking.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from contextlib import contextmanager
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Any, Callable, Iterator, Sequence
+
+import numpy as np
+
+from repro.runtime.bulk import BulkUnsupported
+
+#: seconds a shard waits at a barrier before declaring the run wedged
+BARRIER_TIMEOUT = 600.0
+
+#: int64 lanes in the allreduce scratch row (widest per-round reduction)
+_SCRATCH_LANES = 12
+
+
+class ShardError(RuntimeError):
+    """A worker process died or the shard protocol broke."""
+
+
+# ---------------------------------------------------------------------------
+# Session (mirrors repro.runtime.network.engine_session)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ShardSession:
+    """An active sharding request: shard count + partitioner name."""
+
+    shards: int
+    partitioner: str = "range"
+
+
+_session: ShardSession | None = None
+
+
+def current_shards() -> ShardSession | None:
+    """The active :class:`ShardSession`, or ``None`` (unsharded)."""
+    return _session
+
+
+@contextmanager
+def shard_session(shards: int, partitioner: str = "range") -> Iterator[ShardSession]:
+    """Run every bulk-engine driver in the ``with`` body sharded.
+
+    Composes with ``engine_session("bulk")``: the bulk dispatch seam in
+    each driver checks for an active shard session and routes to the
+    sharded twin (:data:`repro.core.shard.SHARD_DRIVERS`).  ``shards=1``
+    still exercises the full executor (partition, shared memory, worker
+    process, barriers) — useful as the degenerate equivalence case.
+    """
+    from repro.graphs.graph import PARTITIONERS
+
+    if shards < 1:
+        raise ValueError(f"shard count must be >= 1, got {shards}")
+    if partitioner not in PARTITIONERS:
+        raise ValueError(
+            f"unknown partitioner {partitioner!r}; expected one of "
+            f"{sorted(PARTITIONERS)}"
+        )
+    global _session
+    previous = _session
+    _session = ShardSession(shards, partitioner)
+    try:
+        yield _session
+    finally:
+        _session = previous
+
+
+def resolve_bounds(graph, session: ShardSession) -> list[int]:
+    """Partition ``graph`` per the session: ``shards + 1`` vertex bounds."""
+    from repro.graphs.graph import PARTITIONERS
+
+    return PARTITIONERS[session.partitioner](graph, session.shards)
+
+
+# ---------------------------------------------------------------------------
+# Shared-memory arrays
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SharedSpec:
+    """Everything a worker needs to re-map one shared array (picklable)."""
+
+    name: str
+    shape: tuple[int, ...]
+    dtype: str
+
+
+class SharedArrays:
+    """Parent-side registry of shared-memory numpy arrays.
+
+    ``publish`` copies an array into a fresh segment (or zero-fills one
+    of the given shape); :meth:`specs` is the picklable handle set passed
+    to workers; :meth:`cleanup` closes **and unlinks** every segment —
+    the parent owns the lifecycle, workers merely attach/close.
+    """
+
+    def __init__(self) -> None:
+        self._segments: list[shared_memory.SharedMemory] = []
+        self.views: dict[str, np.ndarray] = {}
+        self._specs: dict[str, SharedSpec] = {}
+
+    def publish(
+        self,
+        key: str,
+        arr: np.ndarray | None = None,
+        *,
+        shape: tuple[int, ...] | None = None,
+        dtype=None,
+    ) -> np.ndarray:
+        if arr is not None:
+            shape, dtype = arr.shape, arr.dtype
+        dt = np.dtype(dtype)
+        nbytes = max(int(np.prod(shape)) * dt.itemsize, 1)
+        shm = shared_memory.SharedMemory(create=True, size=nbytes)
+        self._segments.append(shm)
+        view = np.ndarray(shape, dtype=dt, buffer=shm.buf)
+        if arr is not None:
+            view[...] = arr
+        else:
+            view[...] = 0
+        self.views[key] = view
+        self._specs[key] = SharedSpec(shm.name, tuple(shape), dt.str)
+        return view
+
+    def specs(self) -> dict[str, SharedSpec]:
+        return dict(self._specs)
+
+    def cleanup(self) -> None:
+        # Drop array views before closing the buffers they alias.
+        self.views.clear()
+        for shm in self._segments:
+            try:
+                shm.close()
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - double cleanup
+                pass
+        self._segments.clear()
+
+
+def attach_shared(
+    specs: dict[str, SharedSpec],
+) -> tuple[dict[str, np.ndarray], list[shared_memory.SharedMemory]]:
+    """Worker-side: map every published segment; returns (views, handles)."""
+    views: dict[str, np.ndarray] = {}
+    handles: list[shared_memory.SharedMemory] = []
+    for key, spec in specs.items():
+        shm = shared_memory.SharedMemory(name=spec.name)
+        handles.append(shm)
+        views[key] = np.ndarray(spec.shape, dtype=np.dtype(spec.dtype), buffer=shm.buf)
+    return views, handles
+
+
+# ---------------------------------------------------------------------------
+# Barrier + allreduce
+# ---------------------------------------------------------------------------
+
+
+class ShardComm:
+    """One shard's handle on the round-barrier protocol."""
+
+    def __init__(self, barrier, scratch: np.ndarray, idx: int, shards: int) -> None:
+        self.barrier = barrier
+        self.scratch = scratch  # (2, shards, _SCRATCH_LANES) int64
+        self.idx = idx
+        self.shards = shards
+        self._step = 0
+
+    def sync(self) -> None:
+        """A plain state barrier: all prior shared writes become readable."""
+        self.barrier.wait(timeout=BARRIER_TIMEOUT)
+
+    def allreduce(self, *values: int) -> tuple[int, ...]:
+        """Sum each value across shards; one barrier, parity-buffered."""
+        buf = self.scratch[self._step & 1]
+        self._step += 1
+        buf[self.idx, : len(values)] = values
+        self.barrier.wait(timeout=BARRIER_TIMEOUT)
+        return tuple(int(x) for x in buf[:, : len(values)].sum(axis=0))
+
+
+# ---------------------------------------------------------------------------
+# Worker harness
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ShardTask:
+    """Everything a shard worker kernel receives."""
+
+    idx: int
+    lo: int
+    hi: int
+    bounds: list[int]
+    comm: ShardComm
+    views: dict[str, np.ndarray]
+    params: dict[str, Any]
+
+
+def _worker_main(kernel_name, idx, bounds, specs, params, barrier, queue) -> None:
+    """Top-level (spawn-safe) worker entry: attach, run the kernel, report."""
+    from repro.core.shard import SHARD_KERNELS
+
+    handles: list[shared_memory.SharedMemory] = []
+    try:
+        views, handles = attach_shared(specs)
+        comm = ShardComm(barrier, views["__scratch__"], idx, len(bounds) - 1)
+        task = ShardTask(
+            idx=idx,
+            lo=bounds[idx],
+            hi=bounds[idx + 1],
+            bounds=bounds,
+            comm=comm,
+            views=views,
+            params=params,
+        )
+        payload = SHARD_KERNELS[kernel_name](task)
+        queue.put((idx, "ok", payload))
+    except Exception:  # noqa: BLE001 - relayed to the parent verbatim
+        import traceback
+
+        barrier.abort()
+        queue.put((idx, "error", traceback.format_exc()))
+    finally:
+        for shm in handles:
+            try:
+                shm.close()
+            except BufferError:  # pragma: no cover - view still alive
+                pass
+
+
+def run_sharded(
+    kernel_name: str,
+    bounds: Sequence[int],
+    shared: SharedArrays,
+    params: dict[str, Any],
+) -> list[Any]:
+    """Execute one sharded kernel across worker processes.
+
+    Publishes the allreduce scratch, spawns ``len(bounds) - 1`` workers
+    running ``SHARD_KERNELS[kernel_name]``, and returns their payloads in
+    shard order.  Raises :class:`ShardError` carrying the first worker
+    traceback on failure.  The caller owns ``shared`` and must call
+    ``cleanup()`` (typically via ``try/finally``) after consuming any
+    result arrays.
+    """
+    shards = len(bounds) - 1
+    ctx = mp.get_context(
+        "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+    )
+    shared.publish(
+        "__scratch__", shape=(2, shards, _SCRATCH_LANES), dtype=np.int64
+    )
+    barrier = ctx.Barrier(shards)
+    queue = ctx.Queue()
+    procs = [
+        ctx.Process(
+            target=_worker_main,
+            args=(kernel_name, i, list(bounds), shared.specs(), params, barrier, queue),
+            daemon=True,
+        )
+        for i in range(shards)
+    ]
+    for p in procs:
+        p.start()
+    payloads: dict[int, Any] = {}
+    errors: dict[int, str] = {}
+    try:
+        for _ in range(shards):
+            try:
+                idx, status, payload = queue.get(timeout=BARRIER_TIMEOUT)
+            except Exception:  # queue.Empty or a dead pipe
+                barrier.abort()
+                raise ShardError(
+                    f"sharded run {kernel_name!r}: worker result missing "
+                    f"(got {len(payloads)}/{shards}); a worker likely died"
+                ) from None
+            if status == "ok":
+                payloads[idx] = payload
+            else:
+                errors[idx] = payload
+    finally:
+        for p in procs:
+            p.join(timeout=30)
+        for p in procs:
+            if p.is_alive():  # pragma: no cover - wedged worker
+                p.terminate()
+                p.join(timeout=10)
+    if errors:
+        idx = min(errors)
+        raise ShardError(
+            f"sharded run {kernel_name!r}: shard {idx}/{shards} failed:\n"
+            f"{errors[idx]}"
+        )
+    return [payloads[i] for i in range(shards)]
+
+
+# ---------------------------------------------------------------------------
+# Crash-aware finalize (the faulted sibling of bulk.finalize_run)
+# ---------------------------------------------------------------------------
+
+
+def finalize_faulted_run(
+    outputs: dict[int, Any],
+    term: np.ndarray,
+    crash_rounds: dict[int, int],
+    pre_crashed: Sequence[int],
+    sent: Sequence[int],
+    msgs: Sequence[int],
+    receivers: Sequence[int],
+    crashed_all: Sequence[int],
+    bus=None,
+):
+    """Assemble a :class:`RunResult` for a crash-faulted sharded run.
+
+    ``term`` holds termination rounds (0 for crashed vertices);
+    ``crash_rounds`` maps each newly-crashed vertex to the round whose
+    start it crashed at (its metrics round is that minus one, exactly the
+    fast engine's accounting); ``pre_crashed`` are vertices already dead
+    from an earlier run in the fault session (metrics round 0, no event).
+    The recorded round count is ``len(sent)`` — a final round in which
+    every remaining vertex crashed is *unrecorded*, mirroring the fast
+    engine's break-before-trace, but its ``fault_crash`` events are still
+    emitted after the last ``round_end``.
+    """
+    import repro.obs as obs
+    from repro.obs.events import FaultCrash, RoundEnd, RoundSends, RoundStart
+    from repro.runtime.metrics import RoundMetrics
+    from repro.runtime.network import RunResult
+
+    n = int(term.size)
+    rounds_run = len(sent)
+    assert len(msgs) == rounds_run and len(receivers) == rounds_run
+
+    rounds_arr = term.copy()
+    for v, c in crash_rounds.items():
+        rounds_arr[v] = c - 1
+    for v in pre_crashed:
+        rounds_arr[v] = 0
+
+    halts = np.bincount(
+        term[term > 0], minlength=rounds_run + 2
+    ) if n else np.zeros(rounds_run + 2, dtype=np.int64)
+    # n_i = live vertices entering round i: uncrashed with term >= i plus
+    # crashed vertices that only crash at a later round's start.
+    active = np.zeros(rounds_run, dtype=np.int64)
+    if n:
+        for i in range(rounds_run):
+            rnd = i + 1
+            active[i] = int((term >= rnd).sum()) + sum(
+                1 for c in crash_rounds.values() if c > rnd
+            )
+
+    crashes_by_round: dict[int, list[int]] = {}
+    for v, c in sorted(crash_rounds.items()):
+        crashes_by_round.setdefault(c, []).append(v)
+
+    if bus is None:
+        bus = obs.current()
+    if bus is not None and bus.active:
+        for i in range(rounds_run):
+            rnd = i + 1
+            for v in crashes_by_round.get(rnd, ()):
+                bus.emit(FaultCrash(rnd, v))
+            bus.emit(RoundStart(rnd, int(active[i])))
+            if sent[i]:
+                bus.emit(RoundSends(rnd, int(sent[i])))
+            bus.emit(
+                RoundEnd(rnd, int(msgs[i]), int(receivers[i]), int(halts[rnd]))
+            )
+        # crashes that emptied the network in the unrecorded final round
+        for v in crashes_by_round.get(rounds_run + 1, ()):
+            bus.emit(FaultCrash(rounds_run + 1, v))
+
+    rounds_t = tuple(int(r) for r in rounds_arr)
+    metrics = RoundMetrics(
+        rounds=rounds_t,
+        active_trace=tuple(int(a) for a in active),
+        messages_per_round=tuple(int(m) for m in msgs),
+    )
+    return RunResult(
+        outputs=outputs,
+        metrics=metrics,
+        contexts=(),
+        output_rounds=rounds_t,
+        crashed=tuple(sorted(crashed_all)),
+    )

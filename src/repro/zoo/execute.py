@@ -90,6 +90,8 @@ def execute(
     *,
     baseline: bool = False,
     engine: str = "fast",
+    shards: int | None = None,
+    partitioner: str = "range",
     faults=None,
     trace: str | None = None,
     trace_meta: dict | None = None,
@@ -111,6 +113,14 @@ def execute(
     engine:
         ``"fast"`` (default) or ``"reference"`` -- selects the round
         engine for every network the driver builds.
+    shards:
+        Run the bulk driver sharded across this many worker processes
+        (:func:`repro.runtime.shard_session`); requires
+        ``engine="bulk"``.  ``shards=1`` still exercises the full
+        sharded executor.
+    partitioner:
+        Vertex partitioner for sharded runs: ``"range"`` (equal vertex
+        counts, default) or ``"edge"`` (balanced adjacency mass).
     faults:
         A :class:`repro.faults.FaultPlan` to inject (``None`` or an
         empty plan = fault-free).
@@ -142,6 +152,11 @@ def execute(
     if plan is not None and plan.empty:
         plan = None
 
+    if shards is not None and engine != "bulk":
+        raise ValueError(
+            f"shards={shards} requires engine='bulk' (sharding is a bulk-"
+            f"engine execution mode), got engine={engine!r}"
+        )
     if engine == "bulk":
         if not spec.bulk_capable or baseline:
             from repro.zoo.registry import all_specs
@@ -152,10 +167,14 @@ def execute(
                 f"{what} has no bulk driver; engine='bulk' is available "
                 f"for: {capable}"
             )
-        if plan is not None:
+        if plan is not None and shards is None:
+            # The sharded executor re-derives the adversary from its pure
+            # counter-based draws, so a plan is only rejected unsharded;
+            # sharded drivers without a fault seam raise BulkUnsupported.
             raise ValueError(
                 "engine='bulk' does not support fault injection; run the "
-                "plan on the 'fast' or 'reference' engine"
+                "plan on the 'fast' or 'reference' engine, or shard the "
+                "run (shards=N)"
             )
 
     sinks = []
@@ -195,10 +214,15 @@ def execute(
     # Drivers build their networks internally, so both the engine
     # override and the obs sinks ride process-wide sessions for the
     # duration of this one call.
-    with engine_session(engine):
+    from contextlib import ExitStack
+
+    with ExitStack() as stack:
+        stack.enter_context(engine_session(engine))
+        if shards is not None:
+            from repro.runtime import shard_session
+
+            stack.enter_context(shard_session(shards, partitioner))
         if sinks or profiler is not None:
-            with obs.session(*sinks, profiler=profiler):
-                _drive()
-        else:
-            _drive()
+            stack.enter_context(obs.session(*sinks, profiler=profiler))
+        _drive()
     return ex

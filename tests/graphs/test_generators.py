@@ -165,3 +165,61 @@ class TestIDAssignments:
         ids = gen.adversarial_ids_descending_degree(g)
         assert ids[0] == 7  # the hub gets the highest ID
         assert sorted(ids) == list(range(8))
+
+
+class TestForestUnionCsr:
+    """The CSR-direct arboricity-a workload behind the n = 10^7 cell."""
+
+    def test_structure_and_dtype(self):
+        import numpy as np
+
+        g = gen.forest_union_csr(500, 3, seed=0)
+        offsets, indices = g.csr(dtype="auto")
+        assert offsets.dtype == np.int32 and indices.dtype == np.int32
+        assert g.n == 500
+        # a union of a spanning-ish forests: close to a*(n-1) edges, with
+        # only cross-forest duplicates collapsed
+        assert 500 - 1 <= g.m <= 3 * (500 - 1)
+        # symmetric, simple adjacency with sorted rows
+        for v in range(g.n):
+            row = indices[offsets[v] : offsets[v + 1]]
+            assert np.all(np.diff(row) > 0)  # sorted, no duplicates
+            assert v not in row  # no self loops
+            for u in row:
+                urow = indices[offsets[u] : offsets[u + 1]]
+                assert v in urow
+
+    def test_arboricity_bound_holds(self):
+        g = gen.forest_union_csr(60, 2, seed=1)
+        assert arboricity_exact(g) <= 2
+
+    def test_deterministic_and_seed_sensitive(self):
+        import numpy as np
+
+        a = gen.forest_union_csr(200, 2, seed=7).csr()
+        b = gen.forest_union_csr(200, 2, seed=7).csr()
+        c = gen.forest_union_csr(200, 2, seed=8).csr()
+        assert np.array_equal(a[1], b[1])
+        assert not np.array_equal(a[1], c[1])
+
+    def test_tiny_and_invalid(self):
+        assert gen.forest_union_csr(1, 3).n == 1
+        assert gen.forest_union_csr(0, 1).n == 0
+        with pytest.raises(ValueError):
+            gen.forest_union_csr(10, 0)
+
+
+class TestPermutationIds:
+    def test_is_a_permutation(self):
+        import numpy as np
+
+        ids = gen.permutation_ids(1000, seed=3)
+        assert ids.dtype == np.int64
+        assert np.array_equal(np.sort(ids), np.arange(1000))
+
+    def test_deterministic(self):
+        import numpy as np
+
+        assert np.array_equal(
+            gen.permutation_ids(64, seed=5), gen.permutation_ids(64, seed=5)
+        )

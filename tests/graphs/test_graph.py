@@ -172,3 +172,68 @@ class TestCSR:
         # they must be plain Python ints, not numpy scalars
         g = Graph(2, [(0, 1)])
         assert all(type(u) is int for row in g.csr_rows() for u in row)
+
+
+class TestCsrDtype:
+    """The int32/int64 CSR layout selection behind the n = 10^7 cell."""
+
+    def test_auto_picks_int32_when_it_fits(self):
+        import numpy as np
+
+        from repro.graphs.graph import csr_index_dtype
+
+        assert csr_index_dtype(10, 18, "auto") == np.dtype(np.int32)
+        assert csr_index_dtype(2**31, 4, "auto") == np.dtype(np.int64)
+        assert csr_index_dtype(4, 2**31, "auto") == np.dtype(np.int64)
+
+    def test_forced_int32_overflow_is_loud(self):
+        from repro.graphs.graph import csr_index_dtype
+
+        with pytest.raises(ValueError, match="int32"):
+            csr_index_dtype(2**31, 4, "int32")
+        with pytest.raises(ValueError, match="unknown CSR dtype"):
+            csr_index_dtype(4, 4, "int16")
+
+    def test_graph_csr_dtype_variants_agree(self):
+        import numpy as np
+
+        g = Graph(6, [(0, 1), (1, 2), (2, 3), (4, 5)])
+        o64, i64 = g.csr()  # default int64
+        oa, ia = g.csr(dtype="auto")
+        assert o64.dtype == np.int64 and i64.dtype == np.int64
+        assert oa.dtype == np.int32 and ia.dtype == np.int32
+        assert np.array_equal(o64, oa) and np.array_equal(i64, ia)
+        # each dtype is cached independently
+        assert g.csr(dtype="auto") is g.csr(dtype="auto")
+
+
+class TestFromCsr:
+    """CSR-direct construction: the object layer stays unmaterialised."""
+
+    def test_roundtrip_matches_object_graph(self):
+        import numpy as np
+
+        g = Graph(6, [(0, 1), (1, 2), (2, 3), (4, 5)])
+        offsets, indices = g.csr(dtype="auto")
+        h = Graph.from_csr(offsets, indices)
+        assert h.n == g.n and h.m == g.m
+        ho, hi = h.csr(dtype="auto")
+        assert np.array_equal(ho, offsets) and np.array_equal(hi, indices)
+        # lazy object layer materialises on demand and agrees
+        assert [h.neighbors(v) for v in h.vertices()] == [
+            g.neighbors(v) for v in g.vertices()
+        ]
+
+    def test_invalid_csr_rejected(self):
+        import numpy as np
+
+        with pytest.raises(ValueError, match="offsets"):
+            Graph.from_csr(np.array([1, 2]), np.array([0, 1]))
+        with pytest.raises(ValueError, match="does not match"):
+            Graph.from_csr(np.array([0, 1, 3]), np.array([1, 0]))
+        with pytest.raises(ValueError, match="even length"):
+            Graph.from_csr(np.array([0, 1]), np.array([0]))
+        with pytest.raises(ValueError, match="non-decreasing"):
+            Graph.from_csr(np.array([0, 2, 1, 4]), np.array([1, 2, 0, 0]))
+        with pytest.raises(ValueError, match="out of range"):
+            Graph.from_csr(np.array([0, 1, 2]), np.array([1, 5]))

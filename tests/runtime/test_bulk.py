@@ -182,3 +182,30 @@ class TestLargeN:
         # summaries degrade to (v, limit, None, None, None) -- no contexts
         v, limit, ad, h, c = err.summaries[0]
         assert limit == 1 and ad is None and h is None and c is None
+
+
+class TestChunkedKernels:
+    """BULK_CHUNK-sized tiling must be invisible: forcing a tiny chunk
+    size reproduces the untiled results bit-for-bit."""
+
+    def test_partition_chunked_matches(self, monkeypatch):
+        import repro
+        import repro.core.bulk as cb
+
+        g = gen.union_of_forests(600, 3, seed=2)
+        with engine_session("bulk"):
+            ref = repro.run_partition(g, a=3)
+        monkeypatch.setattr(cb, "BULK_CHUNK", 7)
+        with engine_session("bulk"):
+            got = repro.run_partition(g, a=3)
+        assert got.h_index == ref.h_index
+        assert got.metrics == ref.metrics
+
+    def test_broadcast_kernel_chunked_matches(self, monkeypatch):
+        import repro.runtime.bulk as rb
+
+        g = gen.gnp(80, 0.1, seed=1)
+        ref = bulk_broadcast_kernel(g, rounds=4)
+        monkeypatch.setattr(rb, "BULK_CHUNK", 3)
+        got = bulk_broadcast_kernel(g, rounds=4)
+        assert got.metrics == ref.metrics
