@@ -18,9 +18,12 @@ currency).  A change that slows either optimised path shows up as a
 falling ratio no matter the hardware.
 
 The file also records the *null-sink instrumentation overhead*: the fast
-engine run with an ``EventBus(NullSink())`` attached must stay within 5%
-of the uninstrumented path in CPU time (the ``repro.obs`` layer's cost
-contract; the gate fails otherwise).
+engine **and** the bulk engine run with an ``EventBus(NullSink())``
+attached must each stay within 5% of the uninstrumented path in CPU time
+(the ``repro.obs`` layer's cost contract; the gate fails otherwise).
+Sharded shard_scaling points additionally carry a compute / barrier-wait
+/ allreduce / publish breakdown summed over shards, from the
+cross-process phase profiler (:mod:`repro.obs.telemetry`).
 
 Usage::
 
@@ -61,6 +64,10 @@ MAX_NULL_SINK_OVERHEAD_PCT = 5.0
 #: sweep point used for the overhead measurement (big enough that the
 #: per-call branch cost, if any, dominates noise)
 OVERHEAD_N = 8000
+#: the bulk engine's overhead point: the columnar kernel finishes n=8000
+#: in ~a millisecond, too short for a stable CPU-time ratio, so its
+#: overhead arm runs at the large-n throughput cell instead
+BULK_OVERHEAD_N = 100_000
 
 #: the extra sweep point the bulk engine is measured at (cheap for the
 #: columnar path, prohibitive for the coroutine engines)
@@ -179,15 +186,20 @@ def measure_null_sink_overhead(
     n: int = OVERHEAD_N,
     rounds: int = BROADCAST_ROUNDS,
     repeats: int = 9,
+    engine: str = "fast",
 ) -> dict[str, Any]:
     """The instrumentation overhead gate's measurement.
 
-    Times the fast engine on the kernel workload twice per repeat --
-    uninstrumented, and with an :class:`repro.obs.EventBus` whose only
-    sink is a :class:`repro.obs.NullSink` attached -- in adjacent pairs
+    Times ``engine`` (``"fast"`` or ``"bulk"``) on the kernel workload
+    twice per repeat -- uninstrumented, and with an
+    :class:`repro.obs.EventBus` whose only sink is a
+    :class:`repro.obs.NullSink` attached -- in adjacent pairs
     (alternating which arm goes first), in CPU time
     (``time.process_time``, so scheduler preemption stays out of the
-    measurement).  Two statistics come back:
+    measurement).  The bulk arm installs the bus as the process default
+    (:func:`repro.obs.install`), which is how real callers attach it;
+    with no live sink the bulk path pays one ``obs.current()`` lookup
+    per run plus the ``finalize`` skip.  Two statistics come back:
 
     * ``overhead_pct`` -- the *median* of the per-pair ratios: the best
       single estimate, reported for humans.
@@ -205,20 +217,44 @@ def measure_null_sink_overhead(
     With no live sink the engine never constructs an event, so the
     expected overhead is a handful of per-round branches -- truly ~0%.
     """
+    import repro.obs as obs
     from repro.obs import EventBus, NullSink
 
     g = gen.union_of_forests(n, 3, seed=0)
-    g.csr_rows()  # build the CSR cache outside the timed region
-    program = broadcast_program(rounds)
     bus = EventBus(NullSink())
 
-    def timed(with_bus: bool) -> float:
-        t0 = time.process_time()
-        if with_bus:
-            SyncNetwork(g).run(program, bus=bus)
-        else:
-            SyncNetwork(g).run(program)
-        return time.process_time() - t0
+    if engine == "bulk":
+        from repro.runtime.bulk import bulk_broadcast_kernel
+
+        g.csr(dtype="auto")  # build the CSR cache outside the timed region
+
+        def timed(with_bus: bool) -> float:
+            previous = obs.install(bus) if with_bus else None
+            t0 = time.process_time()
+            try:
+                bulk_broadcast_kernel(g, rounds=rounds)
+            finally:
+                dt = time.process_time() - t0
+                if with_bus:
+                    obs.install(previous)
+            return dt
+
+    elif engine == "fast":
+        g.csr_rows()  # build the CSR cache outside the timed region
+        program = broadcast_program(rounds)
+
+        def timed(with_bus: bool) -> float:
+            t0 = time.process_time()
+            if with_bus:
+                SyncNetwork(g).run(program, bus=bus)
+            else:
+                SyncNetwork(g).run(program)
+            return time.process_time() - t0
+
+    else:
+        raise ValueError(
+            f"overhead measurement supports 'fast' and 'bulk', got {engine!r}"
+        )
 
     timed(False)  # one untimed warm-up for allocator/cache state
     ratios = []
@@ -237,6 +273,7 @@ def measure_null_sink_overhead(
     ratios.sort()
     median_ratio = ratios[len(ratios) // 2]
     return {
+        "engine": engine,
         "n": n,
         "rounds": rounds,
         "repeats": repeats,
@@ -287,31 +324,60 @@ def measure_kernel(
     result["null_sink_overhead"] = measure_null_sink_overhead(
         rounds=rounds, repeats=max(9, repeats)
     )
+    result["bulk_null_sink_overhead"] = measure_null_sink_overhead(
+        n=BULK_OVERHEAD_N,
+        rounds=rounds,
+        repeats=max(9, repeats),
+        engine="bulk",
+    )
     return result
 
 
-def _time_shard_partition(graph, shards: int, repeats: int = 1) -> tuple[float, int]:
+def _time_shard_partition(
+    graph, shards: int, repeats: int = 1, breakdown: bool = False
+) -> tuple[float, int, dict[str, float] | None]:
     """Best-of wall time of bulk Procedure Partition on ``graph``;
     ``shards=0`` runs the unsharded bulk engine, otherwise the sharded
-    executor with that many workers."""
+    executor with that many workers.
+
+    ``breakdown=True`` on a sharded run additionally attaches a
+    :class:`~repro.obs.PhaseProfiler` and returns the best run's
+    compute / barrier-wait / allreduce / publish seconds summed over
+    shards (the cross-process timing block; see
+    :data:`repro.runtime.shard.SHARD_PHASES`).
+    """
     from contextlib import ExitStack
 
+    import repro.obs as obs
     from repro.core.partition import run_partition
+    from repro.obs import PhaseProfiler
     from repro.runtime import engine_session, shard_session
 
     best = None
     for _ in range(max(1, repeats)):
+        prof = PhaseProfiler() if (breakdown and shards) else None
         t0 = time.perf_counter()
         with ExitStack() as stack:
             stack.enter_context(engine_session("bulk"))
             if shards:
                 stack.enter_context(shard_session(shards))
+            if prof is not None:
+                stack.enter_context(obs.session(profiler=prof))
             res = run_partition(graph, a=3, seed=0)
         wall = time.perf_counter() - t0
         if best is None or wall < best[0]:
-            best = (wall, res)
-    wall, res = best
-    return wall, int(res.metrics.total_messages)
+            best = (wall, res, prof)
+    wall, res, prof = best
+    phases: dict[str, float] | None = None
+    if prof is not None:
+        phases = {p: 0.0 for p in ("compute", "barrier", "allreduce", "publish")}
+        for per_shard in prof.shard_seconds.values():
+            for phase, secs in per_shard.items():
+                phases[phase] = phases.get(phase, 0.0) + secs
+        # the parent-side publish cost rides the flat phase store
+        phases["publish"] += prof.seconds.get("publish", 0.0)
+        phases = {k: round(v, 4) for k, v in phases.items()}
+    return wall, int(res.metrics.total_messages), phases
 
 
 def measure_shard_scaling(
@@ -332,6 +398,12 @@ def measure_shard_scaling(
 
     ``large_n`` adds the n = 10^7 cell, measured unsharded and at the
     gate shard count only (the full matrix there costs minutes per cell).
+
+    Sharded points (``shards > 0``) also record the cross-process phase
+    breakdown -- ``compute_s`` / ``barrier_s`` / ``allreduce_s`` /
+    ``publish_s`` summed over shards -- so the series answers not just
+    "how fast" but "where the time went" (barrier wait vs kernel work is
+    exactly the scaling diagnosis ROADMAP item 2 asks for).
     """
     points: list[dict[str, Any]] = []
 
@@ -339,16 +411,21 @@ def measure_shard_scaling(
         g = gen.forest_union_csr(n, 3, seed=0)
         g.csr(dtype="auto")  # build the CSR cache outside the timed region
         for s in counts:
-            wall, msgs = _time_shard_partition(g, s, repeats=repeats)
-            points.append(
-                {
-                    "n": n,
-                    "shards": s,
-                    "msgs": msgs,
-                    "wall_s": round(wall, 4),
-                    "msgs_per_s": round(msgs / wall, 1),
-                }
+            wall, msgs, phases = _time_shard_partition(
+                g, s, repeats=repeats, breakdown=True
             )
+            point = {
+                "n": n,
+                "shards": s,
+                "msgs": msgs,
+                "wall_s": round(wall, 4),
+                "msgs_per_s": round(msgs / wall, 1),
+            }
+            if phases is not None:
+                point.update(
+                    {f"{phase}_s": secs for phase, secs in phases.items()}
+                )
+            points.append(point)
 
     for n in ns:
         sweep(n, (0, *shard_counts))
@@ -427,8 +504,8 @@ def check_shard_scaling(
         )
     g = gen.forest_union_csr(SHARD_GATE_N, 3, seed=0)
     g.csr(dtype="auto")
-    wall1, _ = _time_shard_partition(g, 1)
-    wall4, _ = _time_shard_partition(g, SHARD_GATE_SHARDS)
+    wall1, _, _ = _time_shard_partition(g, 1)
+    wall4, _, _ = _time_shard_partition(g, SHARD_GATE_SHARDS)
     speedup = wall1 / wall4
     if speedup < SHARD_SPEEDUP_FLOOR:
         problems.append(
@@ -560,14 +637,20 @@ def compare_to_baseline(
                 f"bulk sweep is missing the n={BULK_N} throughput cell "
                 f"(measured: {sorted(cur_bulk_ns)})"
             )
-    overhead = current.get("null_sink_overhead")
-    if overhead is not None:
+    for key, label in (
+        ("null_sink_overhead", "fast"),
+        ("bulk_null_sink_overhead", "bulk"),
+    ):
+        overhead = current.get(key)
+        if overhead is None:
+            continue
         # gate on the noise-robust lower bound, not the median estimate
         floor = overhead.get("overhead_floor_pct", overhead["overhead_pct"])
         if floor > MAX_NULL_SINK_OVERHEAD_PCT:
             problems.append(
-                f"null-sink instrumentation overhead >= {floor:.2f}% "
-                f"(median estimate {overhead['overhead_pct']:.2f}%) exceeds "
+                f"{label}-engine null-sink instrumentation overhead >= "
+                f"{floor:.2f}% (median estimate "
+                f"{overhead['overhead_pct']:.2f}%) exceeds "
                 f"{MAX_NULL_SINK_OVERHEAD_PCT:.0f}% "
                 f"(n={overhead['n']}, bare {overhead['bare_cpu_s']}s vs "
                 f"instrumented {overhead['null_sink_cpu_s']}s CPU)"
@@ -635,13 +718,19 @@ def main(argv: Sequence[str] | None = None) -> int:
                     f"n={BULK_N}: bulk {point['msgs_per_s']:,.0f} msgs/s "
                     f"({point['wall_s']}s wall)"
                 )
-        overhead = current.get("null_sink_overhead", {})
-        if overhead:
-            print(
-                f"null-sink overhead: {overhead['overhead_pct']:+.2f}% "
-                f"(floor {overhead['overhead_floor_pct']:+.2f}%) at "
-                f"n={overhead['n']} (gate {MAX_NULL_SINK_OVERHEAD_PCT:.0f}%)"
-            )
+        for key, label in (
+            ("null_sink_overhead", "fast"),
+            ("bulk_null_sink_overhead", "bulk"),
+        ):
+            overhead = current.get(key, {})
+            if overhead:
+                print(
+                    f"{label} null-sink overhead: "
+                    f"{overhead['overhead_pct']:+.2f}% "
+                    f"(floor {overhead['overhead_floor_pct']:+.2f}%) at "
+                    f"n={overhead['n']} (gate "
+                    f"{MAX_NULL_SINK_OVERHEAD_PCT:.0f}%)"
+                )
         problems = compare_to_baseline(current, baseline)
         shard_problems, skip = check_shard_scaling(baseline, quick=args.quick)
         problems += shard_problems

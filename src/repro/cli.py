@@ -14,7 +14,9 @@ Commands
               n-sweep and print the paper-table-shaped comparison;
               ``--all`` emits every Table 1/2 row the registry declares.
 ``inspect``   load a JSONL event trace: round narrative, active-vertex
-              decay table, and trace-vs-trace diffs.
+              decay table, trace-vs-trace diffs, and ``--timeline`` --
+              the per-shard x per-phase timing breakdown from the run's
+              manifest (``<trace>.manifest.jsonl``).
 ``fuzz``      sample (algorithm x workload x fault plan) triples, run each
               under the seeded fault adversary, shrink violations to
               minimal replayable artifacts; ``--smoke`` is the CI gate.
@@ -147,6 +149,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="OTHER",
         help="compare against a second trace (e.g. fast vs reference "
         "engine); exits 1 on divergence",
+    )
+    ins.add_argument(
+        "--timeline",
+        action="store_true",
+        help="render the per-shard x per-phase timing breakdown from "
+        "the run manifest next to the trace (requires the run to have "
+        "used --profile)",
     )
 
     fz = sub.add_parser(
@@ -313,24 +322,72 @@ def cmd_run(args, out=None) -> int:
     )
     if trace_out:
         print(f"trace    : {trace_out} (repro inspect {trace_out})", file=out)
+        if ex.manifest is not None:
+            from repro.obs import telemetry
+
+            print(
+                f"manifest : {telemetry.manifest_path(trace_out)} "
+                f"(key {ex.manifest.key[:12]})",
+                file=out,
+            )
     if ex.profiler is not None:
         print("engine phase profile:", file=out)
         print(ex.profiler.report(), file=out)
     return 0
 
 
+def _load_report(path: str, out):
+    """``RunReport.from_path`` with CLI-grade error reporting.
+
+    Returns ``None`` after printing a one-line diagnosis (no traceback)
+    for missing files, corrupt records, or traces without the ``meta``
+    header a :class:`~repro.obs.sinks.JsonlSink` always writes first.
+    """
+    try:
+        rep = obs_report.RunReport.from_path(path)
+    except OSError as e:
+        print(f"inspect: cannot read trace {path}: {e}", file=out)
+        return None
+    except ValueError as e:
+        print(f"inspect: {e}", file=out)
+        return None
+    if rep.meta.get("ev") != "meta":
+        print(
+            f"inspect: {path} has no meta header line -- not a trace "
+            "written by --trace-out / JsonlSink (or the header was lost)",
+            file=out,
+        )
+        return None
+    return rep
+
+
 def cmd_inspect(args, out=None) -> int:
-    """Analyze a JSONL event trace (narrative, decay table, diffs)."""
+    """Analyze a JSONL event trace (narrative, decay, diffs, timeline)."""
     out = out or sys.stdout
-    rep = obs_report.RunReport.from_path(args.trace)
+    if getattr(args, "timeline", False):
+        return _cmd_timeline(args.trace, out)
+    rep = _load_report(args.trace, out)
+    if rep is None:
+        return 2
     if args.diff:
-        other = obs_report.RunReport.from_path(args.diff)
+        other = _load_report(args.diff, out)
+        if other is None:
+            return 2
         identical, text = obs_report.diff(
             rep.main, other.main, label_a=args.trace, label_b=args.diff
         )
         print(text, file=out)
         return 0 if identical else 1
     print(f"trace    : {args.trace} [{rep.describe_meta()}]", file=out)
+    manifest = _read_manifest(args.trace)
+    if manifest is not None:
+        print(
+            f"manifest : key {manifest.get('key', '?')[:12]} "
+            f"engine={manifest.get('engine')} "
+            f"shards={manifest.get('shards')} "
+            f"status={manifest.get('status')}",
+            file=out,
+        )
     if not rep.collectors:
         print("no engine events recorded", file=out)
         return 1
@@ -341,6 +398,55 @@ def cmd_inspect(args, out=None) -> int:
         print(obs_report.narrative(col, limit=args.limit), file=out)
         if args.decay:
             print(obs_report.decay_table(col), file=out)
+    return 0
+
+
+def _read_manifest(trace_path: str):
+    """The latest manifest record for a trace, or None (never raises)."""
+    from repro.obs import telemetry
+
+    try:
+        return telemetry.latest_manifest(telemetry.manifest_path(trace_path))
+    except (OSError, ValueError):
+        return None
+
+
+def _cmd_timeline(trace_path: str, out) -> int:
+    """``repro inspect --timeline``: render the manifest's timing block."""
+    from repro.obs import telemetry
+
+    mpath = telemetry.manifest_path(trace_path)
+    try:
+        manifest = telemetry.latest_manifest(mpath)
+    except OSError:
+        print(
+            f"inspect: no manifest at {mpath} -- timelines are read from "
+            "the run manifest written next to the trace; re-run with "
+            "--trace-out",
+            file=out,
+        )
+        return 2
+    except ValueError as e:
+        print(f"inspect: {e}", file=out)
+        return 2
+    if manifest is None:
+        print(f"inspect: manifest file {mpath} holds no records", file=out)
+        return 2
+    timing = manifest.get("timing") or {}
+    print(
+        f"timeline : {manifest.get('algo')} n={manifest.get('n')} "
+        f"engine={manifest.get('engine')} shards={manifest.get('shards')} "
+        f"(key {manifest.get('key', '?')[:12]})",
+        file=out,
+    )
+    print(telemetry.render_timeline(timing), file=out)
+    if not (timing.get("phases") or timing.get("shards")):
+        print(
+            "inspect: the manifest records no phase timing -- re-run "
+            "with --profile to fill it",
+            file=out,
+        )
+        return 2
     return 0
 
 

@@ -34,6 +34,7 @@ from repro.runtime.bulk import (
     finalize_run,
     gather_rows,
     id_space,
+    profiled,
     require_no_faults,
     resolve_ids,
 )
@@ -137,29 +138,32 @@ def bulk_partition(
     active = np.arange(n, dtype=np.int64)
     inc = None
     rnd = 0
-    while active.size:
-        rnd += 1
-        if rnd > max_rounds:
-            raise RoundLimitExceeded(max_rounds, active.tolist(), None)
-        if inc is not None:
-            # JOIN broadcasts from last round's joiners arrive now
-            heard += inc
-            inc = None
-        join = (deg[active] - heard[active]) <= A
-        joiners = active[join]
-        term[joiners] = rnd
-        if joiners.size <= BULK_CHUNK:
-            nbrs = gather_rows(offsets, indices, joiners)
-            _account_round(term, nbrs, rnd, int(joiners.size), sent, msgs, recv)
-            if nbrs.size:
-                inc = np.bincount(nbrs, minlength=n)
-        else:
-            # Chunked pass: identical accounting, scratch bounded by the
-            # chunk's degree mass instead of the round's.
-            inc = _account_round_chunked(
-                term, offsets, indices, joiners, rnd, sent, msgs, recv
-            )
-        active = active[~join]
+    with profiled("kernel"):
+        while active.size:
+            rnd += 1
+            if rnd > max_rounds:
+                raise RoundLimitExceeded(max_rounds, active.tolist(), None)
+            if inc is not None:
+                # JOIN broadcasts from last round's joiners arrive now
+                heard += inc
+                inc = None
+            join = (deg[active] - heard[active]) <= A
+            joiners = active[join]
+            term[joiners] = rnd
+            if joiners.size <= BULK_CHUNK:
+                nbrs = gather_rows(offsets, indices, joiners)
+                _account_round(
+                    term, nbrs, rnd, int(joiners.size), sent, msgs, recv
+                )
+                if nbrs.size:
+                    inc = np.bincount(nbrs, minlength=n)
+            else:
+                # Chunked pass: identical accounting, scratch bounded by
+                # the chunk's degree mass instead of the round's.
+                inc = _account_round_chunked(
+                    term, offsets, indices, joiners, rnd, sent, msgs, recv
+                )
+            active = active[~join]
 
     outputs = {v: int(term[v]) for v in range(n)}
     res = finalize_run(outputs, term, sent, msgs, recv)
@@ -210,59 +214,63 @@ def bulk_luby_mis(
     recv: list[int] = []
     prev_l = np.zeros(0, dtype=np.int64)  # losers announcing next round
     k = 0
-    while alive.any():
-        k += 1
-        r1 = 2 * k - 1
-        act = np.flatnonzero(alive)
-        if r1 > max_rounds:
-            raise RoundLimitExceeded(
-                max_rounds, np.concatenate((act, prev_l)).tolist(), None
+    with profiled("kernel"):
+        while alive.any():
+            k += 1
+            r1 = 2 * k - 1
+            act = np.flatnonzero(alive)
+            if r1 > max_rounds:
+                raise RoundLimitExceeded(
+                    max_rounds, np.concatenate((act, prev_l)).tolist(), None
+                )
+            for v in act:
+                rng = rngs[v]
+                if rng is None:
+                    rng = rngs[v] = Random(f"{seed}:{int(ids_arr[v])}:seed")
+                rand[v] = rng.random()
+            # round 2k-1: alive vertices broadcast priorities; last
+            # attempt's losers broadcast their leave announcement and
+            # terminate
+            nb = gather_rows(offsets, indices, np.concatenate((act, prev_l)))
+            _account_round(term, nb, r1, int(prev_l.size), sent, msgs, recv)
+
+            # round 2k: win check -- beat every alive neighbor on
+            # (rand, id)
+            r2 = 2 * k
+            if r2 > max_rounds:
+                raise RoundLimitExceeded(max_rounds, act.tolist(), None)
+            sr = np.repeat(act, deg[act])
+            nb2 = gather_rows(offsets, indices, act)
+            am = alive[nb2]
+            sr_a, nb_a = sr[am], nb2[am]
+            beat = (rand[nb_a] > rand[sr_a]) | (
+                (rand[nb_a] == rand[sr_a]) & (ids_arr[nb_a] > ids_arr[sr_a])
             )
-        for v in act:
-            rng = rngs[v]
-            if rng is None:
-                rng = rngs[v] = Random(f"{seed}:{int(ids_arr[v])}:seed")
-            rand[v] = rng.random()
-        # round 2k-1: alive vertices broadcast priorities; last attempt's
-        # losers broadcast their leave announcement and terminate
-        nb = gather_rows(offsets, indices, np.concatenate((act, prev_l)))
-        _account_round(term, nb, r1, int(prev_l.size), sent, msgs, recv)
+            beaten = np.bincount(sr_a[beat], minlength=n).astype(bool)
+            winners = np.flatnonzero(alive & ~beaten)
+            term[winners] = r2
+            alive[winners] = False
+            for v in winners:
+                outputs[int(v)] = (k, True)
+                rngs[v] = None
+            nbw = gather_rows(offsets, indices, winners)
+            lmask = np.zeros(n, dtype=bool)
+            lmask[nbw[alive[nbw]]] = True
+            _account_round(term, nbw, r2, int(winners.size), sent, msgs, recv)
 
-        # round 2k: win check -- beat every alive neighbor on (rand, id)
-        r2 = 2 * k
-        if r2 > max_rounds:
-            raise RoundLimitExceeded(max_rounds, act.tolist(), None)
-        sr = np.repeat(act, deg[act])
-        nb2 = gather_rows(offsets, indices, act)
-        am = alive[nb2]
-        sr_a, nb_a = sr[am], nb2[am]
-        beat = (rand[nb_a] > rand[sr_a]) | (
-            (rand[nb_a] == rand[sr_a]) & (ids_arr[nb_a] > ids_arr[sr_a])
-        )
-        beaten = np.bincount(sr_a[beat], minlength=n).astype(bool)
-        winners = np.flatnonzero(alive & ~beaten)
-        term[winners] = r2
-        alive[winners] = False
-        for v in winners:
-            outputs[int(v)] = (k, True)
-            rngs[v] = None
-        nbw = gather_rows(offsets, indices, winners)
-        lmask = np.zeros(n, dtype=bool)
-        lmask[nbw[alive[nbw]]] = True
-        _account_round(term, nbw, r2, int(winners.size), sent, msgs, recv)
-
-        losers = np.flatnonzero(lmask)
-        term[losers] = r2 + 1
-        alive[losers] = False
-        for v in losers:
-            outputs[int(v)] = (k, False)
-            rngs[v] = None
-        prev_l = losers
-    if prev_l.size:
-        # the final losers announce + terminate one round after the loop
-        r = 2 * k + 1
-        nb = gather_rows(offsets, indices, prev_l)
-        _account_round(term, nb, r, int(prev_l.size), sent, msgs, recv)
+            losers = np.flatnonzero(lmask)
+            term[losers] = r2 + 1
+            alive[losers] = False
+            for v in losers:
+                outputs[int(v)] = (k, False)
+                rngs[v] = None
+            prev_l = losers
+        if prev_l.size:
+            # the final losers announce + terminate one round after the
+            # loop
+            r = 2 * k + 1
+            nb = gather_rows(offsets, indices, prev_l)
+            _account_round(term, nb, r, int(prev_l.size), sent, msgs, recv)
 
     res = finalize_run(outputs, term, sent, msgs, recv)
     return MISResult(
@@ -306,22 +314,23 @@ def bulk_ring_three_coloring(
 
     c = ids_arr.copy()
     if n:
-        succ = np.asarray(list(successor), dtype=np.int64)
-        for _ in range(steps):
-            cs = c[succ]
-            diff = c ^ cs
-            low = diff & -diff
-            i = np.log2(low.astype(np.float64)).astype(np.int64)
-            c = 2 * i + ((c >> i) & 1)
-        src = np.repeat(np.arange(n, dtype=np.int64), deg)
-        for cls in (5, 4, 3):
-            nbc = c[indices]
-            used0 = np.zeros(n, dtype=bool)
-            used0[src[nbc == 0]] = True
-            used1 = np.zeros(n, dtype=bool)
-            used1[src[nbc == 1]] = True
-            pick = np.where(~used0, 0, np.where(~used1, 1, 2))
-            c = np.where(c == cls, pick, c)
+        with profiled("kernel"):
+            succ = np.asarray(list(successor), dtype=np.int64)
+            for _ in range(steps):
+                cs = c[succ]
+                diff = c ^ cs
+                low = diff & -diff
+                i = np.log2(low.astype(np.float64)).astype(np.int64)
+                c = 2 * i + ((c >> i) & 1)
+            src = np.repeat(np.arange(n, dtype=np.int64), deg)
+            for cls in (5, 4, 3):
+                nbc = c[indices]
+                used0 = np.zeros(n, dtype=bool)
+                used0[src[nbc == 0]] = True
+                used1 = np.zeros(n, dtype=bool)
+                used1[src[nbc == 1]] = True
+                pick = np.where(~used0, 0, np.where(~used1, 1, 2))
+                c = np.where(c == cls, pick, c)
 
     rounds_total = steps + 4
     if n:
@@ -377,11 +386,12 @@ def bulk_defective_coloring(
 
     rows = graph.csr_rows()
     colors = [int(x) for x in ids_arr]
-    for fam in schedule:
-        colors = [
-            fam.pick(colors[v], [colors[u] for u in rows[v]])
-            for v in range(n)
-        ]
+    with profiled("kernel"):
+        for fam in schedule:
+            colors = [
+                fam.pick(colors[v], [colors[u] for u in rows[v]])
+                for v in range(n)
+            ]
 
     steps = len(schedule)
     offsets, indices = graph.csr(dtype="auto")

@@ -42,6 +42,7 @@ from repro.runtime.bulk import (
     finalize_run,
     gather_rows,
     id_space,
+    profiled,
     require_no_faults,
     resolve_ids,
 )
@@ -74,14 +75,17 @@ def _launch(
     offsets, indices = graph.csr(dtype="auto")
     shared = SharedArrays()
     try:
-        shared.publish("offsets", offsets)
-        shared.publish("indices", indices)
-        for key, val in publish.items():
-            if isinstance(val, np.ndarray):
-                shared.publish(key, val)
-            else:  # (shape, dtype) request for a zero-filled array
-                shape, dtype = val
-                shared.publish(key, shape=shape, dtype=dtype)
+        # parent-side cost of getting data into shared memory; the
+        # workers' attach side lands in their per-shard "publish" slot
+        with profiled("publish"):
+            shared.publish("offsets", offsets)
+            shared.publish("indices", indices)
+            for key, val in publish.items():
+                if isinstance(val, np.ndarray):
+                    shared.publish(key, val)
+                else:  # (shape, dtype) request for a zero-filled array
+                    shape, dtype = val
+                    shared.publish(key, shape=shape, dtype=dtype)
         payloads = run_sharded(kernel, bounds, shared, params)
         copies = {key: shared.views[key].copy() for key in copy_keys}
     finally:

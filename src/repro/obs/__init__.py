@@ -4,8 +4,11 @@ One substrate observes everything the engines do: typed events on an
 :class:`EventBus` (:mod:`repro.obs.events`), pluggable sinks
 (:mod:`repro.obs.sinks` -- JSONL file, in-memory, aggregating
 :class:`MetricsCollector`, near-zero-cost :class:`NullSink`), wall-clock
-phase profiling (:mod:`repro.obs.profile`), and offline trace analysis
-backing the ``repro inspect`` CLI (:mod:`repro.obs.report`).
+phase profiling (:mod:`repro.obs.profile`), offline trace analysis
+backing the ``repro inspect`` CLI (:mod:`repro.obs.report`), and the
+structured telemetry layer (:mod:`repro.obs.telemetry`: typed metrics
+with JSON / Prometheus exporters, run manifests with a stable content
+address, and the ``--timeline`` renderer).
 
 Attaching a bus
 ---------------
@@ -52,23 +55,37 @@ from repro.obs.events import (
 from repro.obs.profile import PhaseProfiler
 from repro.obs.report import RunReport
 from repro.obs.sinks import JsonlSink, MemorySink, NullSink, Sink
+from repro.obs.telemetry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    RunManifest,
+    registry_from_collector,
+    render_timeline,
+)
 
 __all__ = [
     "SCHEMA_VERSION",
     "Broadcast",
     "Commit",
+    "Counter",
     "Drop",
     "Event",
     "EventBus",
+    "Gauge",
     "Halt",
+    "Histogram",
     "JsonlSink",
     "MemorySink",
     "MetricsCollector",
+    "MetricsRegistry",
     "NullSink",
     "PhaseProfiler",
     "RoundEnd",
     "RoundSends",
     "RoundStart",
+    "RunManifest",
     "RunReport",
     "Send",
     "Sink",
@@ -77,6 +94,8 @@ __all__ = [
     "current",
     "from_record",
     "install",
+    "registry_from_collector",
+    "render_timeline",
     "session",
 ]
 

@@ -21,10 +21,12 @@ the aggregate ``round_sends`` / ``round_end.halts`` records the bulk
 engine emits (one event per round instead of O(messages)).  A
 ``round_sends`` record is *authoritative* for its round -- individual
 send/broadcast events for the same round are ignored -- so replaying a
-mixed stream never double-counts message totals.  Per-vertex quantities
-(:meth:`vertex_averaged`, :meth:`terminations_per_round`, ...) fall back
-to the aggregate per-round halt counts when no per-vertex ``halt``
-events were observed.
+mixed stream never double-counts message totals.  Termination counts
+merge the two granularities **per round**: a round's per-vertex ``halt``
+records win when present, and rounds carrying only the aggregate
+``round_end.halts`` count fall back to it -- a stream that switches
+granularity between rounds still yields exact histogram totals, with
+every vertex counted exactly once.
 
 The collector assumes a single execution (rounds arriving in increasing
 order); :func:`repro.obs.report.segment_records` splits multi-run JSONL
@@ -148,12 +150,30 @@ class MetricsCollector(Sink):
     # ------------------------------------------------------------------
     # per-vertex distributions
     # ------------------------------------------------------------------
+    def _halts_per_round(self) -> list[int]:
+        """Per-round termination counts, merging granularities per round.
+
+        A round's per-vertex ``halt`` records are authoritative when
+        present (they duplicate ``round_end.halts`` in generator-engine
+        traces); rounds carrying only the aggregate count fall back to
+        it.  Per-round precedence keeps a stream that switches
+        granularity *between* rounds exact: nothing double-counted,
+        nothing lost.
+        """
+        length = max(len(self.terminated), len(self.halts))
+        out = []
+        for r in range(length):
+            pv = self.terminated[r] if r < len(self.terminated) else []
+            if pv:
+                out.append(len(pv))
+            else:
+                out.append(self.halts[r] if r < len(self.halts) else 0)
+        return out
+
     @property
     def n(self) -> int:
         """Number of vertices observed terminating."""
-        if self.termination_round:
-            return len(self.termination_round)
-        return sum(self.halts)
+        return sum(self._halts_per_round())
 
     @property
     def rounds(self) -> int:
@@ -162,33 +182,25 @@ class MetricsCollector(Sink):
 
     def round_histogram(self) -> dict[int, int]:
         """Termination round -> how many vertices finished there."""
-        if self.termination_round:
-            return {
-                r + 1: len(vs) for r, vs in enumerate(self.terminated) if vs
-            }
-        return {r + 1: h for r, h in enumerate(self.halts) if h}
+        return {r + 1: h for r, h in enumerate(self._halts_per_round()) if h}
 
     def vertex_averaged(self) -> float:
         """T-bar: mean termination round over the observed vertices."""
-        if self.termination_round:
-            return sum(self.termination_round.values()) / len(
-                self.termination_round
-            )
-        total = sum(self.halts)
+        halts = self._halts_per_round()
+        total = sum(halts)
         if not total:
             return 0.0
-        return sum((r + 1) * h for r, h in enumerate(self.halts)) / total
+        return sum((r + 1) * h for r, h in enumerate(halts)) / total
 
     def worst_case(self) -> int:
         """T: max termination round over the observed vertices."""
-        if self.termination_round:
-            return max(self.termination_round.values())
-        return max((r + 1 for r, h in enumerate(self.halts) if h), default=0)
+        return max(
+            (r + 1 for r, h in enumerate(self._halts_per_round()) if h),
+            default=0,
+        )
 
     def terminations_per_round(self) -> list[int]:
-        if self.termination_round:
-            return [len(vs) for vs in self.terminated]
-        return list(self.halts)
+        return self._halts_per_round()
 
     def commits_per_round(self) -> list[int]:
         return [len(vs) for vs in self.committed]

@@ -46,6 +46,7 @@ so an installed fault session fails loudly rather than being ignored.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import Any, Sequence
 
 import numpy as np
@@ -68,6 +69,24 @@ class BulkUnsupported(RuntimeError):
 #: scaling with the round's total degree — the difference between an
 #: n = 10^7 round peaking at ~10 MB of scratch versus ~1 GB.
 BULK_CHUNK = 1 << 18
+
+
+def profiled(phase: str):
+    """A profiler section for ``phase``, or a no-op context manager.
+
+    The bulk drivers' analogue of the generator engines' inline
+    ``prof.add`` hooks: each driver wraps its vectorized round loop in
+    ``with profiled("kernel")`` and :func:`finalize_run` times itself as
+    ``"finalize"``.  When no :class:`~repro.obs.profile.PhaseProfiler`
+    rides the process bus this returns :func:`~contextlib.nullcontext`
+    -- one attribute lookup per *run* (not per round), so the
+    telemetry-off path stays inside the null-sink overhead budget.
+    """
+    bus = obs.current()
+    prof = bus.profiler if bus is not None else None
+    if prof is None:
+        return nullcontext()
+    return prof.section(phase)
 
 
 def resolve_ids(graph: Graph, ids: Sequence[int] | None) -> np.ndarray:
@@ -151,6 +170,11 @@ def finalize_run(
     default), one ``round_start`` / ``round_sends`` / ``round_end``
     triple per round is emitted -- the aggregate tracing granularity.
     """
+    with profiled("finalize"):
+        return _finalize_run(outputs, term, sent, msgs, receivers, bus)
+
+
+def _finalize_run(outputs, term, sent, msgs, receivers, bus) -> RunResult:
     n = int(term.size)
     rounds_run = int(term.max()) if n else 0
     halts = (
@@ -210,32 +234,38 @@ def bulk_broadcast_kernel(graph: Graph, rounds: int = 10) -> RunResult:
 
     col = np.arange(n, dtype=np.int64)
     acc = np.zeros(n, dtype=np.float64)
-    if m2 <= step:
-        # single-chunk graphs take the unchunked path with int64 index
-        # arrays hoisted out of the loop: bincount and fancy indexing
-        # both want intp, and re-casting an int32 edge list every round
-        # costs ~40% of the kernel's throughput at bench sizes
-        idx = indices if indices.dtype == np.int64 else indices.astype(np.int64)
-        dst = np.repeat(np.arange(n, dtype=np.int64), deg)
-        for _ in range(rounds):
-            # each vertex sums the values its neighbors broadcast last round
-            acc += np.bincount(
-                dst, weights=col[idx].astype(np.float64), minlength=n
+    with profiled("kernel"):
+        if m2 <= step:
+            # single-chunk graphs take the unchunked path with int64 index
+            # arrays hoisted out of the loop: bincount and fancy indexing
+            # both want intp, and re-casting an int32 edge list every round
+            # costs ~40% of the kernel's throughput at bench sizes
+            idx = (
+                indices
+                if indices.dtype == np.int64
+                else indices.astype(np.int64)
             )
-            col = col + 1
-    else:
-        # oversized edge lists keep the narrow dtype and pay per-chunk
-        # casts so the scratch stays chunk-bounded, not m2-bounded
-        dst = np.repeat(np.arange(n, dtype=offsets.dtype), deg)
-        for _ in range(rounds):
-            for lo in range(0, m2, step):
-                hi = min(lo + step, m2)
+            dst = np.repeat(np.arange(n, dtype=np.int64), deg)
+            for _ in range(rounds):
+                # each vertex sums the values its neighbors broadcast
+                # last round
                 acc += np.bincount(
-                    dst[lo:hi],
-                    weights=col[indices[lo:hi]].astype(np.float64),
-                    minlength=n,
+                    dst, weights=col[idx].astype(np.float64), minlength=n
                 )
-            col = col + 1
+                col = col + 1
+        else:
+            # oversized edge lists keep the narrow dtype and pay per-chunk
+            # casts so the scratch stays chunk-bounded, not m2-bounded
+            dst = np.repeat(np.arange(n, dtype=offsets.dtype), deg)
+            for _ in range(rounds):
+                for lo in range(0, m2, step):
+                    hi = min(lo + step, m2)
+                    acc += np.bincount(
+                        dst[lo:hi],
+                        weights=col[indices[lo:hi]].astype(np.float64),
+                        minlength=n,
+                    )
+                col = col + 1
 
     term = np.full(n, rounds + 1, dtype=np.int64)
     n_recv = int((deg > 0).sum())

@@ -57,6 +57,7 @@ import multiprocessing as mp
 from contextlib import contextmanager
 from dataclasses import dataclass
 from multiprocessing import shared_memory
+from time import perf_counter
 from typing import Any, Callable, Iterator, Sequence
 
 import numpy as np
@@ -68,6 +69,18 @@ BARRIER_TIMEOUT = 600.0
 
 #: int64 lanes in the allreduce scratch row (widest per-round reduction)
 _SCRATCH_LANES = 12
+
+#: per-worker phases of the cross-process profiler, in timing-block lane
+#: order: kernel compute (wall minus waits), barrier wait, allreduce
+#: (write + barrier + column sum), shared-memory attach on the worker
+#: side of publish.  When a :class:`~repro.obs.profile.PhaseProfiler`
+#: rides the session bus, :func:`run_sharded` publishes a ``__times__``
+#: block of shape ``(2, shards, len(SHARD_PHASES))`` float64 (seconds
+#: row 0, hit counts row 1); each worker fills its own column slice and
+#: the parent merges them via ``PhaseProfiler.record_shard``.
+SHARD_PHASES = ("compute", "barrier", "allreduce", "publish")
+
+_TIMES_KEY = "__times__"
 
 
 class ShardError(RuntimeError):
@@ -215,26 +228,54 @@ def attach_shared(
 
 
 class ShardComm:
-    """One shard's handle on the round-barrier protocol."""
+    """One shard's handle on the round-barrier protocol.
 
-    def __init__(self, barrier, scratch: np.ndarray, idx: int, shards: int) -> None:
+    With ``timed=True`` (a profiler rides the session), every barrier
+    wait and allreduce accumulates into :attr:`phase_seconds` /
+    :attr:`phase_counts` — two dict lookups and two ``perf_counter``
+    calls per synchronisation, on a path that already pays a
+    cross-process barrier, so the probe cost is noise.
+    """
+
+    def __init__(
+        self,
+        barrier,
+        scratch: np.ndarray,
+        idx: int,
+        shards: int,
+        timed: bool = False,
+    ) -> None:
         self.barrier = barrier
         self.scratch = scratch  # (2, shards, _SCRATCH_LANES) int64
         self.idx = idx
         self.shards = shards
         self._step = 0
+        self.timed = timed
+        self.phase_seconds = {"barrier": 0.0, "allreduce": 0.0}
+        self.phase_counts = {"barrier": 0, "allreduce": 0}
 
     def sync(self) -> None:
         """A plain state barrier: all prior shared writes become readable."""
+        if not self.timed:
+            self.barrier.wait(timeout=BARRIER_TIMEOUT)
+            return
+        t0 = perf_counter()
         self.barrier.wait(timeout=BARRIER_TIMEOUT)
+        self.phase_seconds["barrier"] += perf_counter() - t0
+        self.phase_counts["barrier"] += 1
 
     def allreduce(self, *values: int) -> tuple[int, ...]:
         """Sum each value across shards; one barrier, parity-buffered."""
+        t0 = perf_counter() if self.timed else 0.0
         buf = self.scratch[self._step & 1]
         self._step += 1
         buf[self.idx, : len(values)] = values
         self.barrier.wait(timeout=BARRIER_TIMEOUT)
-        return tuple(int(x) for x in buf[:, : len(values)].sum(axis=0))
+        out = tuple(int(x) for x in buf[:, : len(values)].sum(axis=0))
+        if self.timed:
+            self.phase_seconds["allreduce"] += perf_counter() - t0
+            self.phase_counts["allreduce"] += 1
+        return out
 
 
 # ---------------------------------------------------------------------------
@@ -261,8 +302,13 @@ def _worker_main(kernel_name, idx, bounds, specs, params, barrier, queue) -> Non
 
     handles: list[shared_memory.SharedMemory] = []
     try:
+        t_attach0 = perf_counter()
         views, handles = attach_shared(specs)
-        comm = ShardComm(barrier, views["__scratch__"], idx, len(bounds) - 1)
+        t_attach = perf_counter() - t_attach0
+        timed = _TIMES_KEY in views
+        comm = ShardComm(
+            barrier, views["__scratch__"], idx, len(bounds) - 1, timed=timed
+        )
         task = ShardTask(
             idx=idx,
             lo=bounds[idx],
@@ -272,7 +318,29 @@ def _worker_main(kernel_name, idx, bounds, specs, params, barrier, queue) -> Non
             views=views,
             params=params,
         )
+        t_kernel0 = perf_counter()
         payload = SHARD_KERNELS[kernel_name](task)
+        t_kernel = perf_counter() - t_kernel0
+        if timed:
+            # compute = kernel wall minus time provably spent waiting or
+            # reducing; clamped at 0 against clock jitter.  Written
+            # before the queue put, so the parent's post-collect read
+            # happens-after.
+            waits = comm.phase_seconds["barrier"]
+            reduces = comm.phase_seconds["allreduce"]
+            tb = views[_TIMES_KEY]
+            tb[0, idx] = (
+                max(t_kernel - waits - reduces, 0.0),
+                waits,
+                reduces,
+                t_attach,
+            )
+            tb[1, idx] = (
+                1,
+                comm.phase_counts["barrier"],
+                comm.phase_counts["allreduce"],
+                1,
+            )
         queue.put((idx, "ok", payload))
     except Exception:  # noqa: BLE001 - relayed to the parent verbatim
         import traceback
@@ -302,6 +370,8 @@ def run_sharded(
     ``cleanup()`` (typically via ``try/finally``) after consuming any
     result arrays.
     """
+    import repro.obs as obs
+
     shards = len(bounds) - 1
     ctx = mp.get_context(
         "fork" if "fork" in mp.get_all_start_methods() else "spawn"
@@ -309,6 +379,15 @@ def run_sharded(
     shared.publish(
         "__scratch__", shape=(2, shards, _SCRATCH_LANES), dtype=np.int64
     )
+    bus = obs.current()
+    profiler = bus.profiler if bus is not None else None
+    if profiler is not None:
+        # per-worker timing slots; presence of this key is also the
+        # worker-side signal to enable its probes (no object crosses the
+        # process boundary, only the shared block)
+        shared.publish(
+            _TIMES_KEY, shape=(2, shards, len(SHARD_PHASES)), dtype=np.float64
+        )
     barrier = ctx.Barrier(shards)
     queue = ctx.Queue()
     procs = [
@@ -350,6 +429,13 @@ def run_sharded(
             f"sharded run {kernel_name!r}: shard {idx}/{shards} failed:\n"
             f"{errors[idx]}"
         )
+    if profiler is not None:
+        times = shared.views[_TIMES_KEY]
+        for i in range(shards):
+            for lane, phase in enumerate(SHARD_PHASES):
+                profiler.record_shard(
+                    i, phase, float(times[0, i, lane]), int(times[1, i, lane])
+                )
     return [payloads[i] for i in range(shards)]
 
 

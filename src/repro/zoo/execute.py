@@ -43,6 +43,7 @@ class Execution:
     profiler: Any = None  # PhaseProfiler when profile=True
     watchdog: Exception | None = None  # RoundLimitExceeded, if it fired
     error: BaseException | None = None  # captured driver exception
+    manifest: Any = None  # RunManifest, always built (see telemetry)
 
     @property
     def completed(self) -> bool:
@@ -215,7 +216,9 @@ def execute(
     # override and the obs sinks ride process-wide sessions for the
     # duration of this one call.
     from contextlib import ExitStack
+    from time import perf_counter
 
+    t0 = perf_counter()
     with ExitStack() as stack:
         stack.enter_context(engine_session(engine))
         if shards is not None:
@@ -225,4 +228,43 @@ def execute(
         if sinks or profiler is not None:
             stack.enter_context(obs.session(*sinks, profiler=profiler))
         _drive()
+    wall = perf_counter() - t0
+
+    # Every execution gets a manifest; runs that wrote a trace also get
+    # it persisted next to the trace (<trace>.manifest.jsonl) so
+    # `repro inspect` can read it back.
+    from repro.obs import telemetry
+
+    timing: dict = {"wall_s": round(wall, 6)}
+    if profiler is not None:
+        timing.update(profiler.full_dict())
+    metrics_digest: dict = {}
+    m = getattr(ex.result, "metrics", None)
+    if m is not None:
+        metrics_digest = {
+            "rounds": len(m.active_trace),
+            "vertex_averaged": m.vertex_averaged,
+            "worst_case": m.worst_case,
+            "total_messages": m.total_messages,
+        }
+    if ex.crashed:
+        metrics_digest["crashed"] = len(ex.crashed)
+    status = "ok" if ex.completed else ("watchdog" if ex.watchdog else "error")
+    ex.manifest = telemetry.build_manifest(
+        spec,
+        n=graph.n,
+        seed=seed,
+        workload=(trace_meta or {}).get("workload", ""),
+        engine=engine,
+        shards=shards or 0,
+        partitioner=partitioner if shards is not None else "",
+        baseline=baseline,
+        plan=plan,
+        graph=graph,
+        timing=timing,
+        metrics=metrics_digest,
+        status=status,
+    )
+    if trace:
+        telemetry.write_manifest(ex.manifest, telemetry.manifest_path(trace))
     return ex

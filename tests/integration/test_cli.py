@@ -143,3 +143,101 @@ def test_run_profile_prints_phases(capsys):
     out = capsys.readouterr().out
     assert "engine phase profile:" in out
     assert "step" in out and "route" in out and "deliver" in out
+
+
+def test_run_profile_bulk_engine_prints_kernel_phase(capsys):
+    """Satellite: --profile works on the columnar bulk engine too."""
+    assert main(
+        ["run", "partition", "-n", "300", "--engine", "bulk", "--profile"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "engine phase profile:" in out
+    assert "kernel" in out and "finalize" in out
+
+
+def test_run_trace_out_prints_manifest_key(tmp_path, capsys):
+    path = str(tmp_path / "run.jsonl")
+    assert main(["run", "partition", "-n", "200", "--trace-out", path]) == 0
+    out = capsys.readouterr().out
+    assert f"manifest : {path}.manifest.jsonl" in out
+    assert "(key " in out
+
+
+def test_inspect_missing_file_clear_error(tmp_path, capsys):
+    missing = str(tmp_path / "nope.jsonl")
+    assert main(["inspect", missing]) == 2
+    out = capsys.readouterr().out
+    assert "inspect: cannot read trace" in out
+    assert "Traceback" not in out
+
+
+def test_inspect_headerless_trace_clear_error(tmp_path, capsys):
+    """A JSONL file without the meta header a JsonlSink always writes
+    first is diagnosed in one line, not a traceback."""
+    import json
+
+    path = str(tmp_path / "headerless.jsonl")
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(json.dumps({"ev": "round_start", "round": 1, "active": 3}))
+        fh.write("\n")
+    assert main(["inspect", path]) == 2
+    out = capsys.readouterr().out
+    assert "has no meta header" in out
+    assert "Traceback" not in out
+    # the same diagnosis guards the --diff second operand
+    good = str(tmp_path / "good.jsonl")
+    assert main(["run", "partition", "-n", "200", "--trace-out", good]) == 0
+    capsys.readouterr()
+    assert main(["inspect", good, "--diff", path]) == 2
+    assert "has no meta header" in capsys.readouterr().out
+
+
+def test_inspect_timeline_sharded_run(tmp_path, capsys):
+    """Acceptance: a profiled sharded run's manifest renders as the
+    per-shard x per-phase timing table."""
+    path = str(tmp_path / "sharded.jsonl")
+    assert main(
+        [
+            "run", "partition", "-n", "400", "--engine", "bulk",
+            "--shards", "2", "--profile", "--trace-out", path,
+        ]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "shard" in out  # cmd_run --profile already shows the table
+
+    assert main(["inspect", path, "--timeline"]) == 0
+    out = capsys.readouterr().out
+    assert "timeline : partition" in out
+    assert "engine=bulk shards=2" in out
+    for phase in ("compute", "barrier", "allreduce", "publish"):
+        assert phase in out
+    assert "wall" in out
+
+
+def test_inspect_timeline_without_manifest_clear_error(tmp_path, capsys):
+    path = str(tmp_path / "no_manifest.jsonl")
+    assert main(["inspect", path, "--timeline"]) == 2
+    out = capsys.readouterr().out
+    assert "no manifest at" in out and "Traceback" not in out
+
+
+def test_inspect_timeline_unprofiled_run_exits_nonzero(tmp_path, capsys):
+    """A manifest exists (every traced run writes one) but carries no
+    phase timing: the timeline command says so and exits 2 -- this is
+    what lets CI smoke-check that --profile actually recorded phases."""
+    path = str(tmp_path / "unprofiled.jsonl")
+    assert main(["run", "partition", "-n", "200", "--trace-out", path]) == 0
+    capsys.readouterr()
+    assert main(["inspect", path, "--timeline"]) == 2
+    out = capsys.readouterr().out
+    assert "--profile" in out
+
+
+def test_inspect_shows_manifest_line(tmp_path, capsys):
+    path = str(tmp_path / "run.jsonl")
+    assert main(["run", "partition", "-n", "200", "--trace-out", path]) == 0
+    capsys.readouterr()
+    assert main(["inspect", path]) == 0
+    out = capsys.readouterr().out
+    assert "manifest : key" in out
+    assert "engine=fast" in out and "status=ok" in out

@@ -174,6 +174,44 @@ def test_aggregate_only_stream_supports_per_vertex_accessors():
     assert col.sent == [6, 4] and col.delivered == [6, 4]
 
 
+def test_mixed_granularity_rounds_histogram_totals():
+    """A stream that switches granularity *between rounds* -- per-vertex
+    events in round 1, pure aggregates in round 2, both granularities in
+    round 3 -- must keep the send totals and the termination-round
+    histogram exact: every vertex counted exactly once, sends never
+    double-counted."""
+    from repro.obs.events import RoundSends, Send
+
+    col = MetricsCollector()
+    # round 1: per-vertex granularity (generator engines)
+    col.emit(RoundStart(1, 6))
+    col.emit(Broadcast(1, 0, 3))
+    col.emit(Send(1, 1, 0))
+    col.emit(Halt(1, 5))
+    col.emit(RoundEnd(1, 4, 2, 1))
+    # round 2: aggregate granularity (bulk engine)
+    col.emit(RoundStart(2, 5))
+    col.emit(RoundSends(2, 8))
+    col.emit(RoundEnd(2, 8, 3, 2))
+    # round 3: both -- the aggregate owns sends, per-vertex halts win
+    col.emit(RoundStart(3, 3))
+    col.emit(Broadcast(3, 0, 4))  # ignored: RoundSends is authoritative
+    col.emit(RoundSends(3, 5))
+    col.emit(Halt(3, 0))
+    col.emit(Halt(3, 1))
+    col.emit(Halt(3, 2))
+    col.emit(RoundEnd(3, 5, 0, 3))
+    assert col.sent == [4, 8, 5]
+    assert col.total_sent() == 17
+    # histogram totals: 6 vertices, each terminating exactly once
+    hist = col.round_histogram()
+    assert hist == {1: 1, 2: 2, 3: 3}
+    assert sum(hist.values()) == col.n == 6
+    assert col.terminations_per_round() == [1, 2, 3]
+    assert col.vertex_averaged() == (1 * 1 + 2 * 2 + 3 * 3) / 6
+    assert col.worst_case() == 3
+
+
 def test_per_vertex_halts_take_precedence_over_aggregate_halts():
     """When both granularities are present (a generator-engine trace:
     ``halt`` events *and* ``round_end.halts``), the per-vertex record wins

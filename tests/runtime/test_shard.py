@@ -322,6 +322,52 @@ def test_sharded_rejects_unsupported_fault_plans():
 
 
 # ---------------------------------------------------------------------------
+# Cross-process phase profiling
+# ---------------------------------------------------------------------------
+
+
+def test_sharded_run_fills_per_shard_profiler_slots():
+    """With a profiler on the bus, every worker reports its (compute,
+    barrier, allreduce, publish) seconds through the shared-memory timing
+    block and the parent merges them into per-shard slots."""
+    import repro
+    import repro.obs as obs
+    from repro.obs import PhaseProfiler
+    from repro.runtime.shard import SHARD_PHASES
+
+    g, a, ids = _instance("forest_union_a3", 0)
+    prof = PhaseProfiler()
+    with obs.session(profiler=prof):
+        _sharded(lambda: repro.run_partition(g, a=a, ids=ids), 2)
+
+    assert sorted(prof.shard_seconds) == [0, 1]
+    for idx in (0, 1):
+        assert set(prof.shard_seconds[idx]) == set(SHARD_PHASES)
+        # every worker synchronises and reduces at least once per round
+        assert prof.shard_counts[idx]["barrier"] > 0
+        assert prof.shard_counts[idx]["allreduce"] > 0
+        assert all(v >= 0.0 for v in prof.shard_seconds[idx].values())
+    # the parent-side publish section lands in the flat store
+    assert "publish" in prof.seconds
+    report = prof.shard_report()
+    assert "shard" in report and "barrier" in report and "sum" in report
+
+
+def test_profiled_sharded_run_stays_bit_identical():
+    """Profiling is observation only: the profiled sharded run's outputs
+    and metrics match the unprofiled, unsharded bulk reference."""
+    import repro
+    import repro.obs as obs
+    from repro.obs import PhaseProfiler
+
+    g, a, ids = _instance("forest_union_a3", 1)
+    ref = _bulk(lambda: repro.run_partition(g, a=a, ids=ids))
+    with obs.session(profiler=PhaseProfiler()):
+        got = _sharded(lambda: repro.run_partition(g, a=a, ids=ids), 3)
+    _assert_identical(got, ref, lambda r: r.h_index)
+
+
+# ---------------------------------------------------------------------------
 # The execute() seam and error paths
 # ---------------------------------------------------------------------------
 
