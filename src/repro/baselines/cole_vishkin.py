@@ -87,7 +87,15 @@ def run_ring_three_coloring(
             ctx.broadcast((tag, c))
             yield
             view.absorb(ctx)
-            c = _cv_reduce(c, view.value(tag, succ))
+            cm = view.value(tag, succ)
+            if cm is not None and cm != c:
+                # keep the current color when the successor's step went
+                # missing (crashed sender / dropped copy) or collided
+                # with ours (possible once a step has been skipped):
+                # the step degrades gracefully instead of crashing the
+                # program, at the cost of the coloring invariant
+                # (detected by the validators as a `violation` outcome).
+                c = _cv_reduce(c, cm)
         # Reduce {0..5} -> {0..2}: classes 5, 4, 3 recolor greedily, one
         # class per exchange (a color class is an independent set).
         for cls in (5, 4, 3):

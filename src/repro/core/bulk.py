@@ -17,8 +17,12 @@ notice per vertex terminating this round.
 
 Only :data:`BULK_DRIVERS` entries run on the bulk engine; the zoo
 mirrors this registry through ``AlgorithmSpec.bulk_capable`` and
-``zoo.check_registry`` fails on any drift.  Fault injection is rejected
-up front (:func:`repro.runtime.bulk.require_no_faults`).
+``zoo.check_registry`` fails on any drift.  Under an installed
+:func:`repro.faults.session`, every driver delegates to its sharded
+twin's fault-aware kernel (session-optional: without a shard session it
+runs in-process), which replays crash-stop and message-drop plans
+bit-identically to the fast engine; duplicate/delay plans are rejected
+up front (see docs/fault_tolerance.md).
 """
 
 from __future__ import annotations
@@ -35,10 +39,17 @@ from repro.runtime.bulk import (
     gather_rows,
     id_space,
     profiled,
-    require_no_faults,
     resolve_ids,
 )
 from repro.runtime.network import RoundLimitExceeded
+
+
+def _faulted() -> bool:
+    """Whether a fault session is installed (-> delegate to the sharded
+    twin's fault-aware kernel instead of the closed-form bulk round)."""
+    from repro.faults.plan import current
+
+    return current() is not None
 
 
 def _account_round(
@@ -121,7 +132,12 @@ def bulk_partition(
     from repro.core.common import degree_bound, partition_length_bound
     from repro.core.partition import PartitionResult
 
-    require_no_faults("bulk_partition")
+    if _faulted():
+        from repro.core.shard import sharded_partition
+
+        return sharded_partition(
+            graph, a, eps=eps, ids=ids, seed=seed, max_rounds=max_rounds
+        )
     n = graph.n
     resolve_ids(graph, ids)  # IDs only validate; Partition is ID-oblivious
     A = degree_bound(a, eps)
@@ -194,7 +210,10 @@ def bulk_luby_mis(
     worst case (attempt 1, everyone alive) that is n Mersenne states, so
     prefer :func:`bulk_partition` as the n = 10^6 showcase.
     """
-    require_no_faults("bulk_luby_mis")
+    if _faulted():
+        from repro.core.shard import sharded_luby_mis
+
+        return sharded_luby_mis(graph, ids=ids, seed=seed, max_rounds=max_rounds)
     from repro.core.extension import MISResult
 
     n = graph.n
@@ -301,7 +320,10 @@ def bulk_ring_three_coloring(
     ``successor`` must already be validated (the ``run_ring_three_
     coloring`` wrapper dispatches here after its checks).
     """
-    require_no_faults("bulk_ring_three_coloring")
+    if _faulted():
+        from repro.core.shard import sharded_ring_three_coloring
+
+        return sharded_ring_three_coloring(graph, successor, ids=ids, seed=seed)
     from repro.baselines.cole_vishkin import _cv_steps
     from repro.core.coloring import ColoringResult
 
@@ -373,7 +395,12 @@ def bulk_defective_coloring(
     on a whole graph.  Accounting: K broadcast rounds (isolated vertices
     finish all their picks in round 1), then one terminating round.
     """
-    require_no_faults("bulk_defective_coloring")
+    if _faulted():
+        from repro.core.shard import sharded_defective_coloring
+
+        return sharded_defective_coloring(
+            graph, d, degree_limit=degree_limit, ids=ids, seed=seed
+        )
     from repro.core.defective import DefectiveColoringResult, defective_schedule
 
     n = graph.n

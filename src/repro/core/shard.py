@@ -43,13 +43,15 @@ from repro.runtime.bulk import (
     gather_rows,
     id_space,
     profiled,
-    require_no_faults,
     resolve_ids,
 )
 from repro.runtime.network import RoundLimitExceeded
 from repro.runtime.shard import (
+    CHECKPOINT_MAX_N,
+    LocalComm,
     SharedArrays,
     ShardTask,
+    chaos_kill_hook,
     current_shards,
     finalize_faulted_run,
     resolve_bounds,
@@ -93,6 +95,47 @@ def _launch(
     return payloads, copies, bounds
 
 
+def _execute_kernel(
+    kernel: str,
+    graph: Graph,
+    publish: dict[str, Any],
+    params: dict[str, Any],
+    copy_keys: Sequence[str] = (),
+) -> tuple[list[Any], dict[str, np.ndarray], list[int]]:
+    """Run one kernel sharded *or* in-process, per the active session.
+
+    Without a shard session the kernel runs inline over plain numpy
+    arrays through :class:`~repro.runtime.shard.LocalComm` (a no-op
+    one-shard comm) — this is how the unsharded bulk engine executes the
+    faulted kernels, so bulk == sharded(1) **by construction**: the
+    decision code is literally the same.
+    """
+    session = current_shards()
+    if session is not None:
+        return _launch(kernel, graph, publish, params, copy_keys)
+    n = graph.n
+    offsets, indices = graph.csr(dtype="auto")
+    views: dict[str, np.ndarray] = {"offsets": offsets, "indices": indices}
+    for key, val in publish.items():
+        if isinstance(val, np.ndarray):
+            views[key] = val.copy()
+        else:
+            shape, dtype = val
+            views[key] = np.zeros(shape, dtype=dtype)
+    task = ShardTask(
+        idx=0,
+        lo=0,
+        hi=n,
+        bounds=[0, n],
+        comm=LocalComm(),
+        views=views,
+        params=params,
+    )
+    with profiled("kernel"):
+        payload = SHARD_KERNELS[kernel](task)
+    return [payload], {key: views[key] for key in copy_keys}, [0, n]
+
+
 # ---------------------------------------------------------------------------
 # Procedure Partition — with optional crash-stop / message-drop adversary
 # ---------------------------------------------------------------------------
@@ -121,6 +164,7 @@ def _kernel_partition(task: ShardTask) -> dict[str, Any]:
     fseed = p["fault_seed"]
     crash_spec = CrashSpec(**p["crashes"]) if p.get("crashes") else None
     drop = p.get("drop", 0.0)
+    record_drops = bool(p.get("record_drops"))
     round_offset = p.get("round_offset", 0)
 
     size = hi - lo
@@ -134,14 +178,46 @@ def _kernel_partition(task: ShardTask) -> dict[str, Any]:
         [v for v in p.get("pre_crashed", ()) if lo <= v < hi], dtype=np.int64
     )
     crash_records: list[tuple[int, int]] = []
+    drop_records: list[tuple[int, int, int]] = []
     per_round: list[tuple[int, int, int, int]] = []
     total_active = n - len(p.get("pre_crashed", ()))
     watchdog = None
     rnd = 0
 
+    def _blob() -> dict[str, Any]:
+        # a complete resume point: all shard-local state PLUS this
+        # shard's slice of every mutable shared array, so a restart
+        # overwrites any stale partial-round writes left by the crash
+        return {
+            "rnd": rnd,
+            "total_active": total_active,
+            "heard": heard.copy(),
+            "alive": alive.copy(),
+            "dead": dead.copy(),
+            "crashes": list(crash_records),
+            "drops": list(drop_records),
+            "per_round": list(per_round),
+            "term": term[lo:hi].copy(),
+        }
+
+    if task.resume is not None:
+        b = task.resume
+        rnd = b["rnd"]
+        total_active = b["total_active"]
+        heard[...] = b["heard"]
+        alive[...] = b["alive"]
+        dead = b["dead"].copy()
+        crash_records = list(b["crashes"])
+        drop_records = list(b["drops"])
+        per_round = list(b["per_round"])
+        term[lo:hi] = b["term"]
+    elif task.ckpt is not None:
+        task.ckpt(0, _blob())  # genesis: makes restart-from-0 exact
+
     while total_active > 0:
         rnd += 1
         srnd = round_offset + rnd
+        chaos_kill_hook(p, task.idx, rnd)
         if crash_spec is not None:
             newly = [
                 v
@@ -202,6 +278,11 @@ def _kernel_partition(task: ShardTask) -> dict[str, Any]:
                     dtype=bool,
                     count=us.size,
                 )
+                if record_drops and not keep.all():
+                    km = ~keep
+                    drop_records.extend(
+                        zip([rnd] * int(km.sum()), us[km].tolist(), vs[km].tolist())
+                    )
                 vs = vs[keep]
             tv = term[vs]
             live = tv == 0
@@ -213,10 +294,13 @@ def _kernel_partition(task: ShardTask) -> dict[str, Any]:
         )
         per_round.append((g[0] + g[1], g[0] + g[3], g[2], g[3]))
         total_active = g[4]
+        if task.ckpt is not None:
+            task.ckpt(rnd, _blob())
 
     return {
         "rounds": per_round,
         "crashes": crash_records,
+        "drops": drop_records,
         "watchdog": watchdog,
         "session_rounds": rnd,
     }
@@ -230,8 +314,9 @@ def sharded_partition(
     seed: int = 0,
     max_rounds: int | None = None,
 ):
-    """Sharded Procedure Partition; crash-stop and message-drop plans are
-    supported (the one bulk-capable algorithm with a fault seam)."""
+    """Sharded (or, without a session, in-process) Procedure Partition;
+    crash-stop and message-drop plans are supported."""
+    import repro.obs as obs
     from repro.core.common import degree_bound, partition_length_bound
     from repro.core.partition import PartitionResult
     from repro.faults.plan import current
@@ -242,12 +327,14 @@ def sharded_partition(
     if max_rounds is None:
         max_rounds = partition_length_bound(n, eps) + 4
 
+    bus = obs.current()
     injector = current()
     params: dict[str, Any] = {
         "n": n,
         "A": A,
         "max_rounds": max_rounds,
         "fault_seed": 0,
+        "checkpoint": n <= CHECKPOINT_MAX_N,
     }
     pre_crashed: list[int] = []
     if injector is not None:
@@ -270,8 +357,9 @@ def sharded_partition(
             }
         if mf is not None and mf.drop:
             params["drop"] = mf.drop
+            params["record_drops"] = bus is not None and bus.active
 
-    payloads, copies, _bounds = _launch(
+    payloads, copies, _bounds = _execute_kernel(
         "partition",
         graph,
         {"term": ((n,), np.int64)},
@@ -315,6 +403,7 @@ def sharded_partition(
             msgs,
             recv,
             crashed_all=[v for v in injector.crashed if v < n],
+            drops=[d for p in payloads for d in p.get("drops", ())],
         )
     return PartitionResult(h_index=dict(res.outputs), A=A, metrics=res.metrics)
 
@@ -457,20 +546,231 @@ def _kernel_luby(task: ShardTask) -> dict[str, Any]:
     return {"rounds": per_round, "watchdog": watchdog}
 
 
+def _kernel_luby_faulted(task: ShardTask) -> dict[str, Any]:
+    """One shard of Luby MIS under the crash-stop / message-drop adversary.
+
+    Unlike the fault-free kernel (one iteration per *attempt*), this one
+    steps one engine *round* per iteration, because crash draws happen per
+    round over the still-running set -- exactly the fast engine's
+    ``on_round`` cadence.  The round parity encodes the protocol: odd
+    round 2k-1 delivers the previous attempt's MIS announcements (losers
+    leave) and broadcasts attempt-k priorities; even round 2k delivers
+    priorities and leave announcements and runs the win check.
+
+    Receiver-owned per-edge state replicates each vertex's accumulated
+    :class:`~repro.core.common.LocalView`: ``e_att[j]`` is the attempt of
+    the last priority heard over edge j (0 = never; a stale value counts
+    as *beaten*, matching the program's ``prios[u][0] < attempt`` test),
+    ``disc[j]`` whether the neighbor's leave announcement arrived.  A
+    neighbor that crashed before ever announcing a priority blocks its
+    survivors forever -- the watchdog converts that into the typed
+    round-limit error, the same legitimate non-termination the fast
+    engine reports.  Crash-safe, NOT drop-safe: a dropped MIS
+    announcement can leave two adjacent winners (see docs/faults.md).
+    """
+    from repro.faults.plan import CrashSpec, drop_fate
+
+    p = task.params
+    offsets = task.views["offsets"]
+    indices = task.views["indices"]
+    term = task.views["term"]
+    rand = task.views["rand"]
+    lastp = task.views["lastp"]
+    ids_arr = task.views["ids"]
+    lo, hi = task.lo, task.hi
+    comm = task.comm
+    n = p["n"]
+    seed = p["seed"]
+    max_rounds = p["max_rounds"]
+    fseed = p["fault_seed"]
+    crash_spec = CrashSpec(**p["crashes"]) if p.get("crashes") else None
+    drop = p.get("drop", 0.0)
+    record_drops = bool(p.get("record_drops"))
+    round_offset = p.get("round_offset", 0)
+
+    size = hi - lo
+    deg_loc = _local_deg(offsets, lo, hi)
+    e_lo = int(offsets[lo])
+    nb_own = indices[e_lo : int(offsets[hi])].astype(np.int64)
+    e_off = (offsets[lo : hi + 1] - e_lo).astype(np.int64)
+    e_att = np.zeros(nb_own.size, dtype=np.int64)
+    disc = np.zeros(nb_own.size, dtype=bool)
+    running = np.ones(size, dtype=bool)
+    for v in p.get("pre_crashed", ()):
+        if lo <= v < hi:
+            running[v - lo] = False
+    rngs: list[Random | None] = [None] * size
+    crash_records: list[tuple[int, int]] = []
+    drop_records: list[tuple[int, int, int]] = []
+    per_round: list[tuple[int, int, int, int]] = []
+    total_running = n - len(p.get("pre_crashed", ()))
+    watchdog = None
+    rnd = 0
+
+    def _kept(srnd_send: int, us: np.ndarray, ws: np.ndarray) -> np.ndarray:
+        """Per-copy survival mask for broadcasts sent in ``srnd_send``
+        (every sender broadcasts at most once per round, so copy 0)."""
+        if not drop or us.size == 0:
+            return np.ones(us.size, dtype=bool)
+        return np.fromiter(
+            (
+                not drop_fate(fseed, srnd_send, int(u), int(w), 0, drop)
+                for u, w in zip(us.tolist(), ws.tolist())
+            ),
+            dtype=bool,
+            count=us.size,
+        )
+
+    def _own_edges(idx: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(edge positions, neighbors, owners) of the rows of own ``idx``."""
+        cnt = deg_loc[idx]
+        total = int(cnt.sum())
+        if total == 0:
+            z = np.zeros(0, dtype=np.int64)
+            return z, z, z
+        cum = np.cumsum(cnt)
+        ej = (
+            np.arange(total, dtype=np.int64)
+            - np.repeat(cum - cnt, cnt)
+            + np.repeat(e_off[idx], cnt)
+        )
+        return ej, nb_own[ej], np.repeat(idx + lo, cnt)
+
+    while total_running > 0:
+        rnd += 1
+        srnd = round_offset + rnd
+        if crash_spec is not None:
+            newly = [
+                v
+                for v in (np.flatnonzero(running) + lo).tolist()
+                if crash_spec.strikes(fseed, srnd, v)
+            ]
+            if newly:
+                running[np.asarray(newly, dtype=np.int64) - lo] = False
+                crash_records.extend((rnd, v) for v in newly)
+            (total_crashed,) = comm.allreduce(len(newly))
+            total_running -= total_crashed
+            if total_running == 0:
+                break
+        if rnd > max_rounds:
+            watchdog = (np.flatnonzero(running) + lo).tolist()
+            break
+
+        run_idx = np.flatnonzero(running)
+        halts_own = 0
+        if rnd % 2 == 1:
+            # Odd round 2k-1: leave on MIS announcements delivered from
+            # the round-(2k-2) winners, then draw the attempt-k priority.
+            k = (rnd + 1) // 2
+            if rnd > 1 and run_idx.size:
+                _ej, nbs, owners = _own_edges(run_idx)
+                wm = term[nbs] == rnd - 1
+                if wm.any():
+                    keep = _kept(srnd - 1, nbs[wm], owners[wm])
+                    leavers = np.unique(owners[wm][keep])
+                    if leavers.size:
+                        term[leavers] = rnd
+                        running[leavers - lo] = False
+                        halts_own = int(leavers.size)
+                        run_idx = np.flatnonzero(running)
+            for i in run_idx.tolist():
+                rng = rngs[i]
+                if rng is None:
+                    rng = rngs[i] = Random(f"{seed}:{int(ids_arr[lo + i])}:seed")
+                rand[lo + i] = rng.random()
+                lastp[lo + i] = rnd
+        else:
+            # Even round 2k: absorb attempt-k priorities and leave
+            # announcements sent at 2k-1, then the win check over the
+            # accumulated per-edge view.
+            k = rnd // 2
+            if run_idx.size:
+                ej, nbs, owners = _own_edges(run_idx)
+                pm = lastp[nbs] == rnd - 1
+                if pm.any():
+                    keep = _kept(srnd - 1, nbs[pm], owners[pm])
+                    e_att[ej[pm][keep]] = k
+                fm = term[nbs] == rnd - 1
+                if fm.any():
+                    keep = _kept(srnd - 1, nbs[fm], owners[fm])
+                    disc[ej[fm][keep]] = True
+                ea = e_att[ej]
+                rv, iv = rand[owners], ids_arr[owners]
+                beaten = (rand[nbs] < rv) | ((rand[nbs] == rv) & (ids_arr[nbs] < iv))
+                ok = disc[ej] | ((ea > 0) & (ea < k)) | ((ea == k) & beaten)
+                blocked = np.bincount(
+                    owners[~ok] - lo, minlength=size
+                ).astype(bool)
+                winners = run_idx[~blocked[run_idx]] + lo
+                if winners.size:
+                    term[winners] = rnd
+                    running[winners - lo] = False
+                    halts_own = int(winners.size)
+        comm.sync()
+
+        # Phase B: receiver-side accounting of this round's broadcasts
+        # (attempt priorities + leave announcements at odd rounds, MIS
+        # announcements at even rounds -- every sender is marked in the
+        # shared arrays: lastp == rnd or term == rnd).
+        own_term = term[lo:hi]
+        cand_i = np.flatnonzero((own_term == 0) | (own_term == rnd))
+        counted = same = recv_loc = 0
+        if cand_i.size:
+            _ej, nbs, owners = _own_edges(cand_i)
+            if rnd % 2 == 1:
+                sm = (lastp[nbs] == rnd) | (term[nbs] == rnd)
+            else:
+                sm = term[nbs] == rnd
+            us, ws = nbs[sm], owners[sm]
+            if drop and us.size:
+                keep = _kept(srnd, us, ws)
+                if record_drops and not keep.all():
+                    km = ~keep
+                    drop_records.extend(
+                        zip([rnd] * int(km.sum()), us[km].tolist(), ws[km].tolist())
+                    )
+                us, ws = us[keep], ws[keep]
+            tw = term[ws]
+            live = tw == 0
+            counted = int(live.sum())
+            same = int((tw == rnd).sum())
+            recv_loc = int(np.unique(ws[live]).size)
+        g = comm.allreduce(
+            counted, same, recv_loc, halts_own, int(running.sum())
+        )
+        per_round.append((g[0] + g[1], g[0] + g[3], g[2], g[3]))
+        total_running = g[4]
+
+    return {
+        "rounds": per_round,
+        "crashes": crash_records,
+        "drops": drop_records,
+        "watchdog": watchdog,
+        "session_rounds": rnd,
+    }
+
+
 def sharded_luby_mis(
     graph: Graph,
     ids: Sequence[int] | None = None,
     seed: int = 0,
     max_rounds: int | None = None,
 ):
-    """Sharded Luby MIS (fault-free only, like its bulk twin)."""
-    require_no_faults("sharded_luby_mis")
+    """Sharded (or, without a session, in-process) Luby MIS; crash-stop
+    and message-drop plans are supported via the round-lockstep kernel."""
     from repro.core.extension import MISResult
+    from repro.faults.plan import current
 
     n = graph.n
     ids_arr = resolve_ids(graph, ids)
     if max_rounds is None:
         max_rounds = 64 * (n.bit_length() + 4) + 64
+
+    injector = current()
+    if injector is not None:
+        return _sharded_luby_faulted(
+            graph, ids_arr, seed, max_rounds, injector
+        )
 
     payloads, copies, _bounds = _launch(
         "luby",
@@ -503,6 +803,103 @@ def sharded_luby_mis(
         [r[0] for r in rounds],
         [r[1] for r in rounds],
         [r[2] for r in rounds],
+    )
+    return MISResult(
+        in_mis={v: flag for v, (att, flag) in res.outputs.items()},
+        h_index={v: att for v, (att, flag) in res.outputs.items()},
+        metrics=res.metrics,
+    )
+
+
+def _luby_outputs(term: np.ndarray) -> dict[int, Any]:
+    """Decode (attempt, joined?) from Luby termination parity: winners
+    terminate at even round 2k, losers one round later at 2k+1."""
+    return {
+        v: ((int(t) // 2, True) if t % 2 == 0 else ((int(t) - 1) // 2, False))
+        for v, t in enumerate(term.tolist())
+        if t > 0
+    }
+
+
+def _fault_params(injector, n: int, name: str, bus) -> dict[str, Any]:
+    """The shared fault-plan -> kernel-params translation: crash-stop and
+    message-drop plans are evaluated inside the kernels via the pure
+    counter-based draws; duplicate/delay plans have no receiver-side
+    replay and are rejected up front."""
+    plan = injector.plan
+    mf = plan.messages
+    if mf is not None and (mf.duplicate or mf.delay):
+        raise BulkUnsupported(
+            f"{name} supports crash-stop and message-drop faults only; "
+            "duplicate/delay plans need the 'fast' or 'reference' engine"
+        )
+    pre_crashed = sorted(v for v in injector.begin_run(None) if v < n)
+    params: dict[str, Any] = {
+        "fault_seed": plan.seed,
+        "round_offset": injector._round,
+        "pre_crashed": pre_crashed,
+    }
+    if plan.crashes is not None and plan.crashes.active:
+        params["crashes"] = {
+            "at": dict(plan.crashes.at),
+            "hazard": plan.crashes.hazard,
+        }
+    if mf is not None and mf.drop:
+        params["drop"] = mf.drop
+        params["record_drops"] = bus is not None and bus.active
+    return params
+
+
+def _sharded_luby_faulted(graph, ids_arr, seed, max_rounds, injector):
+    """The faulted half of :func:`sharded_luby_mis`."""
+    import repro.obs as obs
+    from repro.core.extension import MISResult
+
+    n = graph.n
+    bus = obs.current()
+    params = _fault_params(injector, n, "luby MIS", bus)
+    params.update({"n": n, "seed": seed, "max_rounds": max_rounds})
+    pre_crashed = params["pre_crashed"]
+
+    payloads, copies, _bounds = _execute_kernel(
+        "luby_faulted",
+        graph,
+        {
+            "term": ((n,), np.int64),
+            "rand": ((n,), np.float64),
+            "lastp": ((n,), np.int64),
+            "ids": ids_arr,
+        },
+        params,
+        copy_keys=("term",),
+    )
+    term = copies["term"]
+
+    wd = [p["watchdog"] for p in payloads]
+    if any(w is not None for w in wd):
+        injector.absorb_rounds(
+            payloads[0]["session_rounds"],
+            [v for p in payloads for (_r, v) in p["crashes"]],
+        )
+        raise RoundLimitExceeded(
+            max_rounds, [v for w in wd if w is not None for v in w], None
+        )
+
+    rounds = payloads[0]["rounds"]
+    crash_rounds = dict(
+        sorted(((v, r) for p in payloads for (r, v) in p["crashes"]))
+    )
+    injector.absorb_rounds(payloads[0]["session_rounds"], list(crash_rounds))
+    res = finalize_faulted_run(
+        _luby_outputs(term),
+        term,
+        crash_rounds,
+        pre_crashed,
+        [r[0] for r in rounds],
+        [r[1] for r in rounds],
+        [r[2] for r in rounds],
+        crashed_all=[v for v in injector.crashed if v < n],
+        drops=[d for p in payloads for d in p.get("drops", ())],
     )
     return MISResult(
         in_mis={v: flag for v, (att, flag) in res.outputs.items()},
@@ -558,19 +955,267 @@ def _kernel_cole_vishkin(task: ShardTask) -> dict[str, Any]:
     return {"cur": cur}
 
 
+def _kernel_cole_vishkin_faulted(task: ShardTask) -> dict[str, Any]:
+    """One shard of Cole-Vishkin under crash-stop / message-drop faults.
+
+    Runs in round lockstep like the fast program: rounds ``1..steps+1``
+    broadcast the halving chain (round r reduces with the successor's
+    round-``r-1`` value), rounds ``steps+2..steps+4`` process the greedy
+    recolor classes 5, 4, 3; everyone still alive terminates at
+    ``steps+4``.  The program *never waits*: a missing successor value
+    (crashed sender or dropped copy) skips the reduce and keeps the
+    current color -- identical to the fast program's keep-color-on-missing
+    rule -- so Cole-Vishkin cannot non-terminate under this adversary,
+    only degrade (the validators flag the resulting defects).
+
+    Shared state is parity-disciplined: ``colors[r & 1][v]`` is the value
+    v broadcast at round r (written in phase A of round r, read by
+    neighbors in phase A of round r+1 -- the other slot), and the
+    monotone ``bstamp[v]`` is the last round v broadcast, so receivers
+    gate delivery on ``bstamp[u] >= r-1`` without racing the current
+    round's stamps.
+    """
+    from repro.faults.plan import CrashSpec, drop_fate
+
+    p = task.params
+    offsets = task.views["offsets"]
+    indices = task.views["indices"]
+    buf = task.views["colors"]  # (2, n): slot r & 1 = round-r broadcast
+    bstamp = task.views["bstamp"]
+    term = task.views["term"]
+    col = task.views["col"]
+    succ = task.views["succ"]
+    ids_arr = task.views["ids"]
+    lo, hi = task.lo, task.hi
+    comm = task.comm
+    n = p["n"]
+    steps = p["steps"]
+    fseed = p["fault_seed"]
+    crash_spec = CrashSpec(**p["crashes"]) if p.get("crashes") else None
+    drop = p.get("drop", 0.0)
+    record_drops = bool(p.get("record_drops"))
+    round_offset = p.get("round_offset", 0)
+
+    size = hi - lo
+    deg_loc = _local_deg(offsets, lo, hi)
+    e_lo = int(offsets[lo])
+    nb_own = indices[e_lo : int(offsets[hi])].astype(np.int64)
+    e_off = (offsets[lo : hi + 1] - e_lo).astype(np.int64)
+    own_succ = succ[lo:hi].astype(np.int64)
+    running = np.ones(size, dtype=bool)
+    for v in p.get("pre_crashed", ()):
+        if lo <= v < hi:
+            running[v - lo] = False
+    crash_records: list[tuple[int, int]] = []
+    drop_records: list[tuple[int, int, int]] = []
+    per_round: list[tuple[int, int, int, int]] = []
+    total_running = n - len(p.get("pre_crashed", ()))
+    rnd = 0
+
+    def _kept(srnd_send: int, us: np.ndarray, ws: np.ndarray) -> np.ndarray:
+        if not drop or us.size == 0:
+            return np.ones(us.size, dtype=bool)
+        return np.fromiter(
+            (
+                not drop_fate(fseed, srnd_send, int(u), int(w), 0, drop)
+                for u, w in zip(us.tolist(), ws.tolist())
+            ),
+            dtype=bool,
+            count=us.size,
+        )
+
+    while total_running > 0 and rnd < steps + 4:
+        rnd += 1
+        srnd = round_offset + rnd
+        if crash_spec is not None:
+            newly = [
+                v
+                for v in (np.flatnonzero(running) + lo).tolist()
+                if crash_spec.strikes(fseed, srnd, v)
+            ]
+            if newly:
+                running[np.asarray(newly, dtype=np.int64) - lo] = False
+                crash_records.extend((rnd, v) for v in newly)
+            (total_crashed,) = comm.allreduce(len(newly))
+            total_running -= total_crashed
+            if total_running == 0:
+                break
+
+        run_idx = np.flatnonzero(running)
+        halts_own = 0
+        if run_idx.size:
+            vg = run_idx + lo
+            if rnd == 1:
+                c_new = ids_arr[vg].astype(np.int64)
+            else:
+                c_new = buf[(rnd - 1) & 1][vg].copy()
+                if rnd <= steps + 1:
+                    # halving step: reduce with the successor's round-(r-1)
+                    # value when it arrived, keep the color otherwise
+                    su = own_succ[run_idx]
+                    got = bstamp[su] >= rnd - 1
+                    if got.any():
+                        got &= _kept(srnd - 1, su, vg)
+                    # keep-color on missing *or equal* successor value
+                    # (the latter is reachable once a step was skipped)
+                    got &= buf[(rnd - 1) & 1][su] != c_new
+                    if got.any():
+                        cs = buf[(rnd - 1) & 1][su[got]]
+                        c0 = c_new[got]
+                        diff = c0 ^ cs
+                        low = diff & -diff
+                        i = np.log2(low.astype(np.float64)).astype(np.int64)
+                        c_new[got] = 2 * i + ((c0 >> i) & 1)
+                else:
+                    # greedy recolor of class 5 / 4 / 3 over the delivered
+                    # neighbor values from round r-1
+                    cls = 5 - (rnd - steps - 2)
+                    mine = np.flatnonzero(c_new == cls)
+                    for j in mine.tolist():
+                        i = run_idx[j]
+                        nbs = nb_own[e_off[i] : e_off[i + 1]]
+                        got_n = nbs[bstamp[nbs] >= rnd - 1]
+                        keep = _kept(
+                            srnd - 1, got_n, np.full(got_n.size, lo + i)
+                        )
+                        used = set(buf[(rnd - 1) & 1][got_n[keep]].tolist())
+                        c_new[j] = next(
+                            cc for cc in (0, 1, 2) if cc not in used
+                        )
+            if rnd <= steps + 3:
+                buf[rnd & 1][vg] = c_new
+                bstamp[vg] = rnd
+            else:
+                col[vg] = c_new
+                term[vg] = rnd
+                running[run_idx] = False
+                halts_own = int(run_idx.size)
+        comm.sync()
+
+        own_term = term[lo:hi]
+        cand_i = np.flatnonzero((own_term == 0) | (own_term == rnd))
+        counted = same = recv_loc = 0
+        if cand_i.size:
+            cnt = deg_loc[cand_i]
+            total = int(cnt.sum())
+            if total:
+                cum = np.cumsum(cnt)
+                ej = (
+                    np.arange(total, dtype=np.int64)
+                    - np.repeat(cum - cnt, cnt)
+                    + np.repeat(e_off[cand_i], cnt)
+                )
+                nbs = nb_own[ej]
+                owners = np.repeat(cand_i + lo, cnt)
+                sm = bstamp[nbs] == rnd
+                us, ws = nbs[sm], owners[sm]
+                if drop and us.size:
+                    keep = _kept(srnd, us, ws)
+                    if record_drops and not keep.all():
+                        km = ~keep
+                        drop_records.extend(
+                            zip(
+                                [rnd] * int(km.sum()),
+                                us[km].tolist(),
+                                ws[km].tolist(),
+                            )
+                        )
+                    us, ws = us[keep], ws[keep]
+                tw = term[ws]
+                live = tw == 0
+                counted = int(live.sum())
+                same = int((tw == rnd).sum())
+                recv_loc = int(np.unique(ws[live]).size)
+        g = comm.allreduce(
+            counted, same, recv_loc, halts_own, int(running.sum())
+        )
+        per_round.append((g[0] + g[1], g[0] + g[3], g[2], g[3]))
+        total_running = g[4]
+
+    return {
+        "rounds": per_round,
+        "crashes": crash_records,
+        "drops": drop_records,
+        "watchdog": None,
+        "session_rounds": rnd,
+    }
+
+
+def _sharded_cv_faulted(graph, successor, ids_arr, seed, injector):
+    """The faulted half of :func:`sharded_ring_three_coloring`."""
+    import repro.obs as obs
+    from repro.baselines.cole_vishkin import _cv_steps
+    from repro.core.coloring import ColoringResult
+
+    n = graph.n
+    bus = obs.current()
+    params = _fault_params(injector, n, "ring 3-coloring", bus)
+    steps = _cv_steps(id_space(ids_arr))
+    params.update({"n": n, "steps": steps})
+    pre_crashed = params["pre_crashed"]
+
+    payloads, copies, _bounds = _execute_kernel(
+        "cole_vishkin_faulted",
+        graph,
+        {
+            "colors": ((2, n), np.int64),
+            "bstamp": ((n,), np.int64),
+            "term": ((n,), np.int64),
+            "col": ((n,), np.int64),
+            "succ": np.asarray(list(successor), dtype=np.int64),
+            "ids": ids_arr,
+        },
+        params,
+        copy_keys=("term", "col"),
+    )
+    term = copies["term"]
+    col = copies["col"]
+
+    rounds = payloads[0]["rounds"]
+    crash_rounds = dict(
+        sorted(((v, r) for p in payloads for (r, v) in p["crashes"]))
+    )
+    injector.absorb_rounds(payloads[0]["session_rounds"], list(crash_rounds))
+    outputs = {
+        v: (1, int(col[v])) for v, t in enumerate(term.tolist()) if t > 0
+    }
+    res = finalize_faulted_run(
+        outputs,
+        term,
+        crash_rounds,
+        pre_crashed,
+        [r[0] for r in rounds],
+        [r[1] for r in rounds],
+        [r[2] for r in rounds],
+        crashed_all=[v for v in injector.crashed if v < n],
+        drops=[d for p in payloads for d in p.get("drops", ())],
+    )
+    return ColoringResult(
+        colors={v: c for v, (h, c) in res.outputs.items()},
+        h_index={v: h for v, (h, c) in res.outputs.items()},
+        metrics=res.metrics,
+        palette_bound=3,
+    )
+
+
 def sharded_ring_three_coloring(
     graph: Graph,
     successor: Sequence[int],
     ids: Sequence[int] | None = None,
     seed: int = 0,
 ):
-    """Sharded Cole-Vishkin; accounting is closed-form in the parent."""
-    require_no_faults("sharded_ring_three_coloring")
+    """Sharded Cole-Vishkin; accounting is closed-form in the parent for
+    fault-free runs, receiver-side per round under a fault session."""
     from repro.baselines.cole_vishkin import _cv_steps
     from repro.core.coloring import ColoringResult
+    from repro.faults.plan import current
 
     n = graph.n
     ids_arr = resolve_ids(graph, ids)
+
+    injector = current()
+    if injector is not None:
+        return _sharded_cv_faulted(graph, successor, ids_arr, seed, injector)
     offsets, _ = graph.csr(dtype="auto")
     deg = (offsets[1:] - offsets[:-1]).astype(np.int64)
     m2 = int(offsets[-1])
@@ -652,6 +1297,267 @@ def _kernel_defective(task: ShardTask) -> dict[str, Any]:
     return {"cur": cur}
 
 
+def _kernel_defective_faulted(task: ShardTask) -> dict[str, Any]:
+    """One shard of the defective-coloring schedule under crash-stop /
+    message-drop faults.
+
+    The fast program is *self-synchronizing*: it broadcasts family step k
+    and then waits until every neighbor's step k arrived, with no resend.
+    Two consequences shape this kernel.  First, a vertex released from a
+    long wait catches up by broadcasting several steps in one round, so a
+    (src, dst) pair can carry multiple copies per round -- the adversary's
+    per-copy index is the step's offset within the sender's round batch.
+    Second, one dropped copy (or a crashed neighbor) stalls its receiver
+    at that step forever, which cascades; the watchdog reports the same
+    legitimate non-termination the fast engine does.
+
+    Shared state: ``ustep[r & 1][v]`` is v's cumulative broadcast count as
+    of round r (written every round v is alive, so the previous-parity
+    slot is always fresh for delivery), ``ucol[s & 1][v]`` the color value
+    of v's step-s broadcast (neighbor step skew is at most one wait, so a
+    slot is consumed at least one barrier before it is overwritten), and
+    the monotone ``ulast[v]`` stamps v's last live round so accounting
+    never counts phantom sends from a parity-frozen dead sender.
+    Receiver-owned per-edge state: ``e_seen[j]`` copies fate-processed so
+    far, ``e_gap[j]`` the first step not yet delivered (the wait barrier
+    -- a drop freezes it permanently).
+    """
+    from repro.core.defective import defective_schedule
+    from repro.faults.plan import CrashSpec, drop_fate
+
+    p = task.params
+    offsets = task.views["offsets"]
+    indices = task.views["indices"]
+    ustep = task.views["ustep"]  # (2, n)
+    ucol = task.views["ucol"]  # (2, n)
+    ulast = task.views["ulast"]
+    term = task.views["term"]
+    col = task.views["col"]
+    ids_arr = task.views["ids"]
+    lo, hi = task.lo, task.hi
+    comm = task.comm
+    n = p["n"]
+    max_rounds = p["max_rounds"]
+    fseed = p["fault_seed"]
+    crash_spec = CrashSpec(**p["crashes"]) if p.get("crashes") else None
+    drop = p.get("drop", 0.0)
+    record_drops = bool(p.get("record_drops"))
+    round_offset = p.get("round_offset", 0)
+
+    schedule = defective_schedule(p["space"], p["A"], p["d"])
+    n_steps = len(schedule)
+    size = hi - lo
+    e_lo = int(offsets[lo])
+    nb_own = indices[e_lo : int(offsets[hi])].astype(np.int64).tolist()
+    e_off = (offsets[lo : hi + 1] - e_lo).astype(np.int64).tolist()
+    e_seen = [0] * len(nb_own)
+    e_gap = [0] * len(nb_own)
+    running = np.ones(size, dtype=bool)
+    for v in p.get("pre_crashed", ()):
+        if lo <= v < hi:
+            running[v - lo] = False
+    bc = [0] * size  # steps broadcast so far; picks done = bc - 1 or bc
+    cols = [int(x) for x in ids_arr[lo:hi]]
+    crash_records: list[tuple[int, int]] = []
+    drop_records: list[tuple[int, int, int]] = []
+    per_round: list[tuple[int, int, int, int]] = []
+    total_running = n - len(p.get("pre_crashed", ()))
+    watchdog = None
+    rnd = 0
+
+    while total_running > 0:
+        rnd += 1
+        srnd = round_offset + rnd
+        if crash_spec is not None:
+            newly = [
+                v
+                for v in (np.flatnonzero(running) + lo).tolist()
+                if crash_spec.strikes(fseed, srnd, v)
+            ]
+            if newly:
+                running[np.asarray(newly, dtype=np.int64) - lo] = False
+                crash_records.extend((rnd, v) for v in newly)
+            (total_crashed,) = comm.allreduce(len(newly))
+            total_running -= total_crashed
+            if total_running == 0:
+                break
+        if rnd > max_rounds:
+            watchdog = (np.flatnonzero(running) + lo).tolist()
+            break
+
+        run_idx = np.flatnonzero(running).tolist()
+        halts_own = 0
+        # Phase A1: fate-process the copies broadcast at round rnd-1
+        # (delivery advances each edge's contiguous-prefix gap; a dropped
+        # step freezes it -- there are no resends).
+        if rnd > 1:
+            for i in run_idx:
+                for j in range(e_off[i], e_off[i + 1]):
+                    u = nb_own[j]
+                    cnt = int(ustep[(rnd - 1) & 1][u])
+                    base = e_seen[j]
+                    if cnt <= base:
+                        continue
+                    for s in range(base, cnt):
+                        if drop and drop_fate(
+                            fseed, srnd - 1, u, lo + i, s - base, drop
+                        ):
+                            continue
+                        if s == e_gap[j]:
+                            e_gap[j] = s + 1
+                    e_seen[j] = cnt
+        # Phase A2: make progress -- first activation broadcasts step 0,
+        # then every satisfied wait picks and broadcasts the next step
+        # (possibly several in one round), terminating after the last pick.
+        for i in run_idx:
+            v = lo + i
+            b = bc[i]
+            done = False
+            if b == 0:
+                if n_steps == 0:
+                    done = True
+                else:
+                    ucol[0][v] = cols[i]
+                    b = 1
+            if not done:
+                while b >= 1 and all(
+                    e_gap[j] >= b for j in range(e_off[i], e_off[i + 1])
+                ):
+                    fam = schedule[b - 1]
+                    cols[i] = fam.pick(
+                        cols[i],
+                        [
+                            int(ucol[(b - 1) & 1][nb_own[j]])
+                            for j in range(e_off[i], e_off[i + 1])
+                        ],
+                    )
+                    if b == n_steps:
+                        done = True
+                        break
+                    ucol[b & 1][v] = cols[i]
+                    b += 1
+            bc[i] = b
+            ustep[rnd & 1][v] = b
+            ulast[v] = rnd
+            if done:
+                term[v] = rnd
+                col[v] = cols[i]
+                running[i] = False
+                halts_own += 1
+        comm.sync()
+
+        # Phase B: receiver-side accounting of this round's batched
+        # broadcasts (ulast gates out parity-frozen dead senders).
+        own_term = term[lo:hi]
+        cand_i = np.flatnonzero((own_term == 0) | (own_term == rnd)).tolist()
+        counted = same = 0
+        recv_set: set[int] = set()
+        for i in cand_i:
+            v = lo + i
+            t_own = int(own_term[i])
+            for j in range(e_off[i], e_off[i + 1]):
+                u = nb_own[j]
+                if int(ulast[u]) != rnd:
+                    continue
+                k_n = int(ustep[rnd & 1][u]) - int(ustep[(rnd - 1) & 1][u])
+                for kidx in range(k_n):
+                    if drop and drop_fate(fseed, srnd, u, v, kidx, drop):
+                        if record_drops:
+                            drop_records.append((rnd, u, v))
+                        continue
+                    if t_own == 0:
+                        counted += 1
+                        recv_set.add(v)
+                    else:
+                        same += 1
+        g = comm.allreduce(
+            counted, same, len(recv_set), halts_own, int(running.sum())
+        )
+        per_round.append((g[0] + g[1], g[0] + g[3], g[2], g[3]))
+        total_running = g[4]
+
+    return {
+        "rounds": per_round,
+        "crashes": crash_records,
+        "drops": drop_records,
+        "watchdog": watchdog,
+        "session_rounds": rnd,
+    }
+
+
+def _sharded_defective_faulted(graph, d, degree_limit, ids_arr, seed, injector):
+    """The faulted half of :func:`sharded_defective_coloring`."""
+    import repro.obs as obs
+    from repro.core.defective import DefectiveColoringResult, defective_schedule
+
+    n = graph.n
+    bus = obs.current()
+    params = _fault_params(injector, n, "defective coloring", bus)
+    A = degree_limit if degree_limit is not None else graph.max_degree()
+    A = max(A, 1)
+    space = id_space(ids_arr)
+    schedule = defective_schedule(space, A, d)
+    bound = schedule[-1].ground_size if schedule else space
+    max_rounds = 4 * len(schedule) + 64
+    params.update(
+        {"n": n, "space": space, "A": A, "d": d, "max_rounds": max_rounds}
+    )
+    pre_crashed = params["pre_crashed"]
+
+    payloads, copies, _bounds = _execute_kernel(
+        "defective_faulted",
+        graph,
+        {
+            "ustep": ((2, n), np.int64),
+            "ucol": ((2, n), np.int64),
+            "ulast": ((n,), np.int64),
+            "term": ((n,), np.int64),
+            "col": ((n,), np.int64),
+            "ids": ids_arr,
+        },
+        params,
+        copy_keys=("term", "col"),
+    )
+    term = copies["term"]
+    col = copies["col"]
+
+    wd = [p["watchdog"] for p in payloads]
+    if any(w is not None for w in wd):
+        injector.absorb_rounds(
+            payloads[0]["session_rounds"],
+            [v for p in payloads for (_r, v) in p["crashes"]],
+        )
+        raise RoundLimitExceeded(
+            max_rounds, [v for w in wd if w is not None for v in w], None
+        )
+
+    rounds = payloads[0]["rounds"]
+    crash_rounds = dict(
+        sorted(((v, r) for p in payloads for (r, v) in p["crashes"]))
+    )
+    injector.absorb_rounds(payloads[0]["session_rounds"], list(crash_rounds))
+    outputs = {
+        v: int(col[v]) for v, t in enumerate(term.tolist()) if t > 0
+    }
+    res = finalize_faulted_run(
+        outputs,
+        term,
+        crash_rounds,
+        pre_crashed,
+        [r[0] for r in rounds],
+        [r[1] for r in rounds],
+        [r[2] for r in rounds],
+        crashed_all=[v for v in injector.crashed if v < n],
+        drops=[dd for p in payloads for dd in p.get("drops", ())],
+    )
+    return DefectiveColoringResult(
+        colors=dict(res.outputs),
+        metrics=res.metrics,
+        palette_bound=bound,
+        defect_bound=d,
+    )
+
+
 def sharded_defective_coloring(
     graph: Graph,
     d: int,
@@ -659,9 +1565,16 @@ def sharded_defective_coloring(
     ids: Sequence[int] | None = None,
     seed: int = 0,
 ):
-    """Sharded d-defective coloring; accounting closed-form in the parent."""
-    require_no_faults("sharded_defective_coloring")
+    """Sharded d-defective coloring; accounting closed-form in the parent
+    for fault-free runs, receiver-side per round under a fault session."""
     from repro.core.defective import DefectiveColoringResult, defective_schedule
+    from repro.faults.plan import current
+
+    injector = current()
+    if injector is not None:
+        return _sharded_defective_faulted(
+            graph, d, degree_limit, resolve_ids(graph, ids), seed, injector
+        )
 
     n = graph.n
     ids_arr = resolve_ids(graph, ids)
@@ -716,8 +1629,11 @@ def sharded_defective_coloring(
 SHARD_KERNELS = {
     "partition": _kernel_partition,
     "luby": _kernel_luby,
+    "luby_faulted": _kernel_luby_faulted,
     "cole_vishkin": _kernel_cole_vishkin,
+    "cole_vishkin_faulted": _kernel_cole_vishkin_faulted,
     "defective": _kernel_defective,
+    "defective_faulted": _kernel_defective_faulted,
 }
 
 #: generator driver function name -> sharded twin (mirrors BULK_DRIVERS)

@@ -30,6 +30,7 @@ from repro.runtime.reference import ReferenceSyncNetwork
 from repro.runtime.shard import (
     ShardError,
     ShardSession,
+    ShardTimeout,
     current_shards,
     shard_session,
 )
@@ -47,6 +48,7 @@ __all__ = [
     "RunResult",
     "ShardError",
     "ShardSession",
+    "ShardTimeout",
     "SyncNetwork",
     "Trace",
     "TraceRecorder",

@@ -46,6 +46,32 @@ passed the barrier of step ``s+1``, i.e. finished reading step ``s``).
 Plain state barriers rely on the same argument: writes to a shared array
 happen-before the barrier, reads after it.
 
+Executor fault tolerance
+------------------------
+Model faults (crash-stop vertices, dropped messages) are the
+*adversary's*; this layer also survives faults of the *executor itself*
+(see ``docs/fault_tolerance.md``):
+
+* every barrier wait is bounded — a worker stuck at a barrier past its
+  timeout raises :class:`ShardTimeout` naming the lagging shard (read
+  from the ``__hb__`` heartbeat block each worker stamps before
+  waiting) instead of blocking forever;
+* kernels with checkpoint support stream per-round snapshots of their
+  own state (local arrays **plus their own slices of every mutable
+  shared array**) to the parent over the result queue;
+* the parent's collect loop polls worker liveness; when a worker dies
+  (e.g. SIGKILL), surviving workers are torn down and the whole group
+  is restarted — with bounded retries and exponential backoff — from
+  the newest *consistent* checkpoint (the highest round every shard
+  reported).  Replay is **bit-identical**: all kernel decisions,
+  including the injected fault stream, are pure functions of
+  ``(seed, round, vertex)``, so recovery reproduces exactly the run an
+  unfaulted executor would have produced;
+* with retries exhausted (or no checkpoint to restart from) the run
+  fails fast with :class:`ShardError` / :class:`ShardTimeout` — never a
+  hang — and :class:`SharedArrays` guarantees segment cleanup via
+  context-manager/``atexit`` discipline, so no shared-memory leaks.
+
 Lifecycle: the parent creates and unlinks every shared segment; workers
 attach and close.  Worker failure aborts the barrier so the remaining
 shards fail fast instead of deadlocking.
@@ -53,11 +79,15 @@ shards fail fast instead of deadlocking.
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing as mp
+import os
+import signal
+import threading
 from contextlib import contextmanager
 from dataclasses import dataclass
 from multiprocessing import shared_memory
-from time import perf_counter
+from time import monotonic, perf_counter, sleep
 from typing import Any, Callable, Iterator, Sequence
 
 import numpy as np
@@ -66,6 +96,21 @@ from repro.runtime.bulk import BulkUnsupported
 
 #: seconds a shard waits at a barrier before declaring the run wedged
 BARRIER_TIMEOUT = 600.0
+
+#: parent-side liveness poll interval while waiting on worker results
+POLL_INTERVAL = 0.25
+
+#: bounded restart policy for worker death: total attempts = retries + 1
+SHARD_RETRIES = 2
+
+#: base restart backoff in seconds (doubled per failed attempt)
+RESTART_BACKOFF = 0.05
+
+#: per-round checkpoints are streamed only up to this many vertices; a
+#: checkpoint blob carries O(n / shards) array state per shard per
+#: round, which is noise at test scale but would dominate the n = 10^7
+#: bench runs (drivers may override via ``params["checkpoint"]``)
+CHECKPOINT_MAX_N = 2_000_000
 
 #: int64 lanes in the allreduce scratch row (widest per-round reduction)
 _SCRATCH_LANES = 12
@@ -82,9 +127,51 @@ SHARD_PHASES = ("compute", "barrier", "allreduce", "publish")
 
 _TIMES_KEY = "__times__"
 
+#: heartbeat block: ``(shards, 2)`` float64 — each worker stamps
+#: ``(monotonic(), waits_so_far)`` before every barrier entry, so both
+#: sides can name the lagging shard when a wait times out
+_HB_KEY = "__hb__"
+
 
 class ShardError(RuntimeError):
     """A worker process died or the shard protocol broke."""
+
+
+class ShardTimeout(ShardError):
+    """A barrier wait (or the parent's collect loop) exceeded its
+    deadline.  ``lagging`` is the index of the shard with the fewest
+    recorded barrier entries at diagnosis time (-1 when unknown)."""
+
+    def __init__(self, message: str, lagging: int = -1) -> None:
+        super().__init__(message)
+        self.lagging = lagging
+
+
+#: executor-fault telemetry counters (process-wide, cumulative); see
+#: :func:`stats_snapshot` / :func:`reset_stats`
+SHARD_STATS: dict[str, int] = {
+    "worker_lost": 0,
+    "worker_restart": 0,
+    "checkpoints": 0,
+    "barrier_timeouts": 0,
+}
+
+
+#: chaos-test overrides merged into every :func:`run_sharded` params
+#: dict (e.g. ``{"die_at": (shard, round)}`` or ``{"retries": 0}``);
+#: set/clear from tests only
+CHAOS: dict[str, Any] = {}
+
+
+def stats_snapshot() -> dict[str, int]:
+    """A copy of the executor-fault counters."""
+    return dict(SHARD_STATS)
+
+
+def reset_stats() -> None:
+    """Zero the executor-fault counters (tests)."""
+    for key in SHARD_STATS:
+        SHARD_STATS[key] = 0
 
 
 # ---------------------------------------------------------------------------
@@ -157,6 +244,28 @@ class SharedSpec:
     dtype: str
 
 
+#: parent-side registries still owning un-unlinked segments; the atexit
+#: hook sweeps whatever a crashed/careless caller left behind
+_LIVE_ARRAYS: list["SharedArrays"] = []
+_ATEXIT_INSTALLED = False
+
+
+def _cleanup_leaked() -> None:  # pragma: no cover - interpreter shutdown
+    for arrays in list(_LIVE_ARRAYS):
+        arrays.cleanup()
+
+
+def active_segments() -> list[str]:
+    """Names of shared-memory segments this process still owns.
+
+    Empty once every :class:`SharedArrays` has been cleaned up — the
+    leak-count test asserts exactly that.
+    """
+    return [
+        shm.name for arrays in _LIVE_ARRAYS for shm in arrays._segments
+    ]
+
+
 class SharedArrays:
     """Parent-side registry of shared-memory numpy arrays.
 
@@ -164,12 +273,28 @@ class SharedArrays:
     of the given shape); :meth:`specs` is the picklable handle set passed
     to workers; :meth:`cleanup` closes **and unlinks** every segment —
     the parent owns the lifecycle, workers merely attach/close.
+
+    Use as a context manager (``with SharedArrays() as shared: ...``)
+    for a structural cleanup guarantee; every live instance is
+    additionally registered with an ``atexit`` sweep, so segments cannot
+    outlive the parent process even on unhandled exceptions.
     """
 
     def __init__(self) -> None:
         self._segments: list[shared_memory.SharedMemory] = []
         self.views: dict[str, np.ndarray] = {}
         self._specs: dict[str, SharedSpec] = {}
+        global _ATEXIT_INSTALLED
+        if not _ATEXIT_INSTALLED:
+            atexit.register(_cleanup_leaked)
+            _ATEXIT_INSTALLED = True
+        _LIVE_ARRAYS.append(self)
+
+    def __enter__(self) -> "SharedArrays":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.cleanup()
 
     def publish(
         self,
@@ -184,6 +309,8 @@ class SharedArrays:
         dt = np.dtype(dtype)
         nbytes = max(int(np.prod(shape)) * dt.itemsize, 1)
         shm = shared_memory.SharedMemory(create=True, size=nbytes)
+        # registered before the view exists, so a failing ndarray
+        # construction still gets its segment unlinked by cleanup()
         self._segments.append(shm)
         view = np.ndarray(shape, dtype=dt, buffer=shm.buf)
         if arr is not None:
@@ -207,6 +334,11 @@ class SharedArrays:
             except FileNotFoundError:  # pragma: no cover - double cleanup
                 pass
         self._segments.clear()
+        self._specs.clear()
+        try:
+            _LIVE_ARRAYS.remove(self)
+        except ValueError:
+            pass
 
 
 def attach_shared(
@@ -235,6 +367,11 @@ class ShardComm:
     :attr:`phase_counts` — two dict lookups and two ``perf_counter``
     calls per synchronisation, on a path that already pays a
     cross-process barrier, so the probe cost is noise.
+
+    ``timeout`` bounds every barrier wait; a break or deadline miss
+    raises :class:`ShardTimeout` (never an indefinite block).  When the
+    ``hb`` heartbeat view is wired, the exception names the lagging
+    shard — the one with the fewest stamped barrier entries.
     """
 
     def __init__(
@@ -244,23 +381,51 @@ class ShardComm:
         idx: int,
         shards: int,
         timed: bool = False,
+        timeout: float | None = None,
+        hb: np.ndarray | None = None,
     ) -> None:
         self.barrier = barrier
         self.scratch = scratch  # (2, shards, _SCRATCH_LANES) int64
         self.idx = idx
         self.shards = shards
         self._step = 0
+        self._waits = 0
         self.timed = timed
+        self.timeout = BARRIER_TIMEOUT if timeout is None else timeout
+        self.hb = hb  # (shards, 2) float64: (monotonic stamp, waits)
         self.phase_seconds = {"barrier": 0.0, "allreduce": 0.0}
         self.phase_counts = {"barrier": 0, "allreduce": 0}
+
+    def _lagging(self) -> int:
+        if self.hb is None or self.shards < 2:
+            return -1
+        waits = self.hb[:, 1].copy()
+        waits[self.idx] = np.inf
+        return int(np.argmin(waits))
+
+    def _wait(self) -> None:
+        self._waits += 1
+        if self.hb is not None:
+            self.hb[self.idx] = (monotonic(), float(self._waits))
+        try:
+            self.barrier.wait(timeout=self.timeout)
+        except threading.BrokenBarrierError:
+            SHARD_STATS["barrier_timeouts"] += 1
+            lag = self._lagging()
+            who = f" (lagging shard: {lag})" if lag >= 0 else ""
+            raise ShardTimeout(
+                f"shard {self.idx}/{self.shards}: barrier broken or timed "
+                f"out after {self.timeout}s at wait #{self._waits}{who}",
+                lagging=lag,
+            ) from None
 
     def sync(self) -> None:
         """A plain state barrier: all prior shared writes become readable."""
         if not self.timed:
-            self.barrier.wait(timeout=BARRIER_TIMEOUT)
+            self._wait()
             return
         t0 = perf_counter()
-        self.barrier.wait(timeout=BARRIER_TIMEOUT)
+        self._wait()
         self.phase_seconds["barrier"] += perf_counter() - t0
         self.phase_counts["barrier"] += 1
 
@@ -270,12 +435,45 @@ class ShardComm:
         buf = self.scratch[self._step & 1]
         self._step += 1
         buf[self.idx, : len(values)] = values
-        self.barrier.wait(timeout=BARRIER_TIMEOUT)
+        self._wait()
         out = tuple(int(x) for x in buf[:, : len(values)].sum(axis=0))
         if self.timed:
             self.phase_seconds["allreduce"] += perf_counter() - t0
             self.phase_counts["allreduce"] += 1
         return out
+
+
+class LocalComm:
+    """In-process stand-in for :class:`ShardComm` (one-shard semantics).
+
+    Lets the faulted kernels in :mod:`repro.core.shard` run unsharded —
+    the bulk engine's fault path executes the *same* kernel code through
+    this no-op comm, so bulk == sharded(1) by construction.
+    """
+
+    idx = 0
+    shards = 1
+    timed = False
+
+    def sync(self) -> None:
+        pass
+
+    def allreduce(self, *values: int) -> tuple[int, ...]:
+        return tuple(int(v) for v in values)
+
+
+def chaos_kill_hook(params: dict[str, Any], idx: int, rnd: int) -> None:
+    """Kill-based chaos testing: SIGKILL this worker at a chosen round.
+
+    Fires only on the **first** attempt (``__attempt__`` 0) when
+    ``params["die_at"] == (shard, round)`` matches — the restarted run
+    must survive, which is exactly what the chaos tests assert.
+    """
+    die_at = params.get("die_at")
+    if not die_at or params.get("__attempt__", 0):
+        return
+    if int(die_at[0]) == idx and int(die_at[1]) == rnd:
+        os.kill(os.getpid(), signal.SIGKILL)  # pragma: no cover - dies
 
 
 # ---------------------------------------------------------------------------
@@ -291,12 +489,19 @@ class ShardTask:
     lo: int
     hi: int
     bounds: list[int]
-    comm: ShardComm
+    comm: Any
     views: dict[str, np.ndarray]
     params: dict[str, Any]
+    #: ``ckpt(round, blob)`` streams a checkpoint to the parent (None
+    #: when running in-process or checkpointing is disabled)
+    ckpt: Callable[[int, Any], None] | None = None
+    #: the blob of the consistent checkpoint to resume from, or None
+    resume: Any = None
 
 
-def _worker_main(kernel_name, idx, bounds, specs, params, barrier, queue) -> None:
+def _worker_main(
+    kernel_name, idx, bounds, specs, params, barrier, queue, resume=None
+) -> None:
     """Top-level (spawn-safe) worker entry: attach, run the kernel, report."""
     from repro.core.shard import SHARD_KERNELS
 
@@ -307,8 +512,17 @@ def _worker_main(kernel_name, idx, bounds, specs, params, barrier, queue) -> Non
         t_attach = perf_counter() - t_attach0
         timed = _TIMES_KEY in views
         comm = ShardComm(
-            barrier, views["__scratch__"], idx, len(bounds) - 1, timed=timed
+            barrier,
+            views["__scratch__"],
+            idx,
+            len(bounds) - 1,
+            timed=timed,
+            timeout=params.get("barrier_timeout"),
+            hb=views.get(_HB_KEY),
         )
+        ckpt = None
+        if params.get("checkpoint"):
+            ckpt = lambda rnd, blob: queue.put((idx, "ckpt", (rnd, blob)))
         task = ShardTask(
             idx=idx,
             lo=bounds[idx],
@@ -317,6 +531,8 @@ def _worker_main(kernel_name, idx, bounds, specs, params, barrier, queue) -> Non
             comm=comm,
             views=views,
             params=params,
+            ckpt=ckpt,
+            resume=resume,
         )
         t_kernel0 = perf_counter()
         payload = SHARD_KERNELS[kernel_name](task)
@@ -342,6 +558,11 @@ def _worker_main(kernel_name, idx, bounds, specs, params, barrier, queue) -> Non
                 1,
             )
         queue.put((idx, "ok", payload))
+    except ShardTimeout as e:
+        # A broken/expired barrier: either collateral damage of another
+        # worker's death (the parent will restart or re-raise the real
+        # cause) or a genuine wedge (the parent raises ShardTimeout).
+        queue.put((idx, "barrier", str(e)))
     except Exception:  # noqa: BLE001 - relayed to the parent verbatim
         import traceback
 
@@ -355,6 +576,128 @@ def _worker_main(kernel_name, idx, bounds, specs, params, barrier, queue) -> Non
                 pass
 
 
+class _WorkersLost(Exception):
+    """Internal: the liveness poll found dead workers mid-collect."""
+
+    def __init__(self, dead: list[int]) -> None:
+        super().__init__(f"workers lost: {dead}")
+        self.dead = dead
+
+
+def _reap(procs: list, timeout: float = 30.0) -> None:
+    for p in procs:
+        p.join(timeout=timeout)
+    for p in procs:
+        if p.is_alive():
+            p.terminate()
+            p.join(timeout=10)
+
+
+def _attempt(
+    kernel_name: str,
+    bounds: Sequence[int],
+    shared: SharedArrays,
+    params: dict[str, Any],
+    ctx,
+    resumes: list[Any],
+    ckpts: dict[int, dict[int, Any]],
+    timeout: float,
+) -> list[Any]:
+    """Run one worker group to completion; raises :class:`_WorkersLost`
+    when the liveness poll finds a dead worker before its result."""
+    shards = len(bounds) - 1
+    barrier = ctx.Barrier(shards)
+    queue = ctx.Queue()
+    procs = [
+        ctx.Process(
+            target=_worker_main,
+            args=(
+                kernel_name,
+                i,
+                list(bounds),
+                shared.specs(),
+                params,
+                barrier,
+                queue,
+                resumes[i],
+            ),
+            daemon=True,
+        )
+        for i in range(shards)
+    ]
+    for p in procs:
+        p.start()
+    payloads: dict[int, Any] = {}
+    errors: dict[int, str] = {}
+    barrier_reports: dict[int, str] = {}
+    last_activity = monotonic()
+    try:
+        while len(payloads) + len(errors) + len(barrier_reports) < shards:
+            try:
+                idx, status, payload = queue.get(timeout=POLL_INTERVAL)
+            except Exception:  # queue.Empty or a dead pipe
+                done = payloads.keys() | errors.keys() | barrier_reports.keys()
+                dead = [
+                    i
+                    for i, p in enumerate(procs)
+                    if i not in done and not p.is_alive()
+                ]
+                if dead:
+                    for p in procs:
+                        if p.is_alive():
+                            p.terminate()
+                    raise _WorkersLost(dead)
+                hb = shared.views.get(_HB_KEY)
+                if hb is not None and float(hb[:, 0].max()) > last_activity:
+                    last_activity = float(hb[:, 0].max())
+                if monotonic() - last_activity > timeout:
+                    barrier.abort()
+                    for p in procs:
+                        if p.is_alive():
+                            p.terminate()
+                    lag = (
+                        int(np.argmin(hb[:, 1])) if hb is not None else -1
+                    )
+                    raise ShardTimeout(
+                        f"sharded run {kernel_name!r}: no worker progress "
+                        f"for {timeout}s (lagging shard: {lag})",
+                        lagging=lag,
+                    )
+                continue
+            last_activity = monotonic()
+            if status == "ok":
+                payloads[idx] = payload
+            elif status == "ckpt":
+                rnd, blob = payload
+                ckpts.setdefault(idx, {})[rnd] = blob
+                SHARD_STATS["checkpoints"] += 1
+                if len(ckpts) == shards:
+                    complete = min(max(d) for d in ckpts.values())
+                    for d in ckpts.values():
+                        for r in [r for r in d if r < complete]:
+                            del d[r]
+            elif status == "barrier":
+                barrier_reports[idx] = payload
+            else:
+                errors[idx] = payload
+    finally:
+        _reap(procs)
+    if errors:
+        idx = min(errors)
+        raise ShardError(
+            f"sharded run {kernel_name!r}: shard {idx}/{shards} failed:\n"
+            f"{errors[idx]}"
+        )
+    if barrier_reports:
+        # nobody died and no worker errored, yet barriers broke: a wedge
+        idx = min(barrier_reports)
+        raise ShardTimeout(
+            f"sharded run {kernel_name!r}: barrier timed out with all "
+            f"workers alive: {barrier_reports[idx]}"
+        )
+    return [payloads[i] for i in range(shards)]
+
+
 def run_sharded(
     kernel_name: str,
     bounds: Sequence[int],
@@ -363,22 +706,36 @@ def run_sharded(
 ) -> list[Any]:
     """Execute one sharded kernel across worker processes.
 
-    Publishes the allreduce scratch, spawns ``len(bounds) - 1`` workers
-    running ``SHARD_KERNELS[kernel_name]``, and returns their payloads in
-    shard order.  Raises :class:`ShardError` carrying the first worker
-    traceback on failure.  The caller owns ``shared`` and must call
-    ``cleanup()`` (typically via ``try/finally``) after consuming any
-    result arrays.
+    Publishes the allreduce scratch + heartbeat blocks, spawns
+    ``len(bounds) - 1`` workers running ``SHARD_KERNELS[kernel_name]``,
+    and returns their payloads in shard order.  Raises
+    :class:`ShardError` carrying the first worker traceback on failure
+    and :class:`ShardTimeout` on a wedge — never hangs.  The caller owns
+    ``shared`` and must call ``cleanup()`` (typically via ``with`` /
+    ``try/finally``) after consuming any result arrays.
+
+    **Worker death is survivable**: when a worker dies mid-run (SIGKILL,
+    OOM-kill, ...) and the kernel streams checkpoints
+    (``params["checkpoint"]``), the group restarts — up to
+    ``params.get("retries", SHARD_RETRIES)`` times, with exponential
+    backoff — from the newest round every shard checkpointed.  Blobs
+    restore each shard's local state *and* its own slices of the mutable
+    shared arrays, and every kernel decision is a pure function of the
+    (seed, round, vertex) counters, so the replayed run is bit-identical
+    to an unfaulted one.
     """
     import repro.obs as obs
 
+    if CHAOS:
+        params = {**params, **CHAOS}
     shards = len(bounds) - 1
     ctx = mp.get_context(
         "fork" if "fork" in mp.get_all_start_methods() else "spawn"
     )
-    shared.publish(
+    scratch = shared.publish(
         "__scratch__", shape=(2, shards, _SCRATCH_LANES), dtype=np.int64
     )
+    hb = shared.publish(_HB_KEY, shape=(shards, 2), dtype=np.float64)
     bus = obs.current()
     profiler = bus.profiler if bus is not None else None
     if profiler is not None:
@@ -388,47 +745,51 @@ def run_sharded(
         shared.publish(
             _TIMES_KEY, shape=(2, shards, len(SHARD_PHASES)), dtype=np.float64
         )
-    barrier = ctx.Barrier(shards)
-    queue = ctx.Queue()
-    procs = [
-        ctx.Process(
-            target=_worker_main,
-            args=(kernel_name, i, list(bounds), shared.specs(), params, barrier, queue),
-            daemon=True,
-        )
-        for i in range(shards)
-    ]
-    for p in procs:
-        p.start()
-    payloads: dict[int, Any] = {}
-    errors: dict[int, str] = {}
-    try:
-        for _ in range(shards):
-            try:
-                idx, status, payload = queue.get(timeout=BARRIER_TIMEOUT)
-            except Exception:  # queue.Empty or a dead pipe
-                barrier.abort()
+    timeout = params.get("barrier_timeout") or BARRIER_TIMEOUT
+    retries = params.get("retries", SHARD_RETRIES)
+    resumes: list[Any] = [None] * shards
+    ckpts: dict[int, dict[int, Any]] = {}
+    attempt = 0
+    while True:
+        try:
+            payloads = _attempt(
+                kernel_name, bounds, shared, params, ctx, resumes, ckpts, timeout
+            )
+            break
+        except _WorkersLost as lost:
+            SHARD_STATS["worker_lost"] += len(lost.dead)
+            complete = (
+                min(max(d) for d in ckpts.values())
+                if len(ckpts) == shards
+                else None
+            )
+            if bus is not None and bus.active:
+                from repro.obs.events import WorkerLost
+
+                for i in lost.dead:
+                    bus.emit(WorkerLost(complete or 0, i))
+            if attempt >= retries or complete is None:
+                why = (
+                    "no consistent checkpoint to restart from"
+                    if complete is None
+                    else f"retries exhausted after {attempt + 1} attempts"
+                )
                 raise ShardError(
-                    f"sharded run {kernel_name!r}: worker result missing "
-                    f"(got {len(payloads)}/{shards}); a worker likely died"
+                    f"sharded run {kernel_name!r}: worker(s) {lost.dead} "
+                    f"died; {why}"
                 ) from None
-            if status == "ok":
-                payloads[idx] = payload
-            else:
-                errors[idx] = payload
-    finally:
-        for p in procs:
-            p.join(timeout=30)
-        for p in procs:
-            if p.is_alive():  # pragma: no cover - wedged worker
-                p.terminate()
-                p.join(timeout=10)
-    if errors:
-        idx = min(errors)
-        raise ShardError(
-            f"sharded run {kernel_name!r}: shard {idx}/{shards} failed:\n"
-            f"{errors[idx]}"
-        )
+            sleep(RESTART_BACKOFF * (2**attempt))
+            attempt += 1
+            SHARD_STATS["worker_restart"] += 1
+            if bus is not None and bus.active:
+                from repro.obs.events import Checkpoint, WorkerRestart
+
+                bus.emit(Checkpoint(complete, shards))
+                bus.emit(WorkerRestart(complete, attempt))
+            resumes = [ckpts[i][complete] for i in range(shards)]
+            scratch[...] = 0
+            hb[...] = 0
+            params = {**params, "__attempt__": attempt}
     if profiler is not None:
         times = shared.views[_TIMES_KEY]
         for i in range(shards):
@@ -436,7 +797,7 @@ def run_sharded(
                 profiler.record_shard(
                     i, phase, float(times[0, i, lane]), int(times[1, i, lane])
                 )
-    return [payloads[i] for i in range(shards)]
+    return payloads
 
 
 # ---------------------------------------------------------------------------
@@ -454,6 +815,7 @@ def finalize_faulted_run(
     receivers: Sequence[int],
     crashed_all: Sequence[int],
     bus=None,
+    drops: Sequence[tuple[int, int, int]] = (),
 ):
     """Assemble a :class:`RunResult` for a crash-faulted sharded run.
 
@@ -465,10 +827,19 @@ def finalize_faulted_run(
     The recorded round count is ``len(sent)`` — a final round in which
     every remaining vertex crashed is *unrecorded*, mirroring the fast
     engine's break-before-trace, but its ``fault_crash`` events are still
-    emitted after the last ``round_end``.
+    emitted after the last ``round_end``.  ``drops`` are the adversary's
+    dropped copies as ``(round, src, dst)`` triples (emitted per round,
+    sorted, right after ``round_start`` -- the fast engine drops copies
+    during routing, after the round has started).
     """
     import repro.obs as obs
-    from repro.obs.events import FaultCrash, RoundEnd, RoundSends, RoundStart
+    from repro.obs.events import (
+        FaultCrash,
+        FaultDrop,
+        RoundEnd,
+        RoundSends,
+        RoundStart,
+    )
     from repro.runtime.metrics import RoundMetrics
     from repro.runtime.network import RunResult
 
@@ -498,6 +869,9 @@ def finalize_faulted_run(
     crashes_by_round: dict[int, list[int]] = {}
     for v, c in sorted(crash_rounds.items()):
         crashes_by_round.setdefault(c, []).append(v)
+    drops_by_round: dict[int, list[tuple[int, int]]] = {}
+    for r, src, dst in drops:
+        drops_by_round.setdefault(r, []).append((src, dst))
 
     if bus is None:
         bus = obs.current()
@@ -507,6 +881,8 @@ def finalize_faulted_run(
             for v in crashes_by_round.get(rnd, ()):
                 bus.emit(FaultCrash(rnd, v))
             bus.emit(RoundStart(rnd, int(active[i])))
+            for src, dst in sorted(drops_by_round.get(rnd, ())):
+                bus.emit(FaultDrop(rnd, src, dst))
             if sent[i]:
                 bus.emit(RoundSends(rnd, int(sent[i])))
             bus.emit(

@@ -168,15 +168,11 @@ def execute(
                 f"{what} has no bulk driver; engine='bulk' is available "
                 f"for: {capable}"
             )
-        if plan is not None and shards is None:
-            # The sharded executor re-derives the adversary from its pure
-            # counter-based draws, so a plan is only rejected unsharded;
-            # sharded drivers without a fault seam raise BulkUnsupported.
-            raise ValueError(
-                "engine='bulk' does not support fault injection; run the "
-                "plan on the 'fast' or 'reference' engine, or shard the "
-                "run (shards=N)"
-            )
+        # Fault plans are fine on the bulk engine: every bulk driver
+        # delegates to its sharded twin's fault-aware kernel (with or
+        # without a shard session), which re-derives the adversary from
+        # the pure counter-based draws; only duplicate/delay plans are
+        # rejected (BulkUnsupported) for lack of a receiver-side replay.
 
     sinks = []
     if trace:

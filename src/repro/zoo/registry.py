@@ -60,9 +60,10 @@ _SPECS: tuple[AlgorithmSpec, ...] = (
         problem="mis",
         driver=_D("run_luby_mis", passes_a=False, passes_seed=True),
         randomized=True,
-        # the bulk twin rejects fault injection, and the generator driver
-        # was never part of the fuzz population -- keep that visible
-        crash_safe=False,
+        # crash-stop faults degrade gracefully (survivors still form an
+        # independent set among themselves); drop plans are NOT safe --
+        # a lost MIS announcement can yield adjacent winners
+        crash_safe=True,
         bulk_capable=True,
     ),
     AlgorithmSpec(

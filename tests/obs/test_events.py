@@ -9,6 +9,7 @@ from repro.graphs import generators as gen
 from repro.obs.events import (
     EVENT_TYPES,
     Broadcast,
+    Checkpoint,
     Commit,
     Drop,
     EventBus,
@@ -21,6 +22,8 @@ from repro.obs.events import (
     RoundSends,
     RoundStart,
     Send,
+    WorkerLost,
+    WorkerRestart,
     from_record,
 )
 from repro.obs.sinks import JsonlSink, MemorySink, NullSink
@@ -40,6 +43,9 @@ def _sample_events():
         FaultDrop(2, 0, 1),
         FaultDup(2, 0, 1),
         FaultDelay(2, 0, 1, 3),
+        WorkerLost(3, 1),
+        WorkerRestart(3, 2),
+        Checkpoint(3, 4),
         RoundEnd(1, 4, 3, 1),
     ]
 
@@ -73,6 +79,9 @@ def test_registry_covers_the_issue_event_vocabulary():
         "fault_drop",
         "fault_dup",
         "fault_delay",
+        "worker_lost",
+        "worker_restart",
+        "checkpoint",
     }
 
 

@@ -351,13 +351,14 @@ def test_three_way_defective_coloring(family, d):
 
 
 @pytest.mark.parametrize("driver", ["run_partition", "run_luby_mis"])
-def test_bulk_refuses_fault_sessions(driver):
-    """A live fault session must make the bulk twin refuse loudly -- a
-    vectorized round has no per-message adversary hook, and pretending
-    otherwise would report clean runs that were never attacked."""
+def test_bulk_fault_sessions_delegate_and_agree(driver):
+    """A live crash/drop fault session routes the bulk twin through its
+    fault-aware sharded kernel (in-process), replaying the fast engine's
+    counter-based adversary exactly; only duplicate/delay plans -- which
+    have no receiver-side replay -- are refused loudly."""
     import repro
     from repro import faults as flt
-    from repro.faults import CrashSpec, FaultPlan
+    from repro.faults import CrashSpec, FaultPlan, MessageFaults
     from repro.runtime import BulkUnsupported
 
     g, a, ids = _instance("forest_union_a3", seed=0, n=40)
@@ -366,10 +367,21 @@ def test_bulk_refuses_fault_sessions(driver):
         "run_partition": lambda: repro.run_partition(g, a=a, ids=ids),
         "run_luby_mis": lambda: repro.run_luby_mis(g, ids=ids, seed=0),
     }[driver]
-    with engine_session("bulk"):
-        with flt.session(plan.injector()):
-            with pytest.raises(BulkUnsupported, match="fault injection"):
-                run()
+    extract = {
+        "run_partition": lambda r: r.h_index,
+        "run_luby_mis": lambda r: r.in_mis,
+    }[driver]
+    with flt.session(plan.injector()):
+        ref = run()
+    with engine_session("bulk"), flt.session(plan.injector()):
+        got = run()
+    assert extract(got) == extract(ref)
+    assert got.metrics.active_trace == ref.metrics.active_trace
+
+    dup = FaultPlan(seed=1, messages=MessageFaults(duplicate=0.5))
+    with engine_session("bulk"), flt.session(dup.injector()):
+        with pytest.raises(BulkUnsupported, match="duplicate/delay"):
+            run()
 
 
 def test_newly_halted_and_inbox_views_agree():

@@ -1,0 +1,411 @@
+"""Fault-stream invariance matrix + executor-fault (chaos) pins.
+
+Two layers of the fault-tolerance contract live here:
+
+**Model faults** (the adversary *inside* the algorithm): for every
+algorithm with a fault-aware bulk kernel -- Luby MIS, Cole-Vishkin ring
+coloring, defective coloring (Partition's matrix lives in
+``test_shard.py``) -- the engines {fast, bulk in-process, sharded
+k in {1, 2, 4}} must produce
+
+* the identical fault event stream (``FaultCrash`` / ``FaultDrop``
+  interleaved with ``RoundStart`` / ``RoundEnd`` in the fast engine's
+  order),
+* the identical metrics surface and outputs, and
+* on legitimate non-termination (a drop stalls a vertex that will never
+  be re-sent to), the identical watchdog active set --
+
+because every crash/drop decision is a pure function of
+``(seed, session round, vertex)`` counters, never of engine internals or
+the shard count.  Completed runs additionally pass the
+survivor-restricted safety check for their problem kind.
+
+**Executor faults** (the worker process itself dies): a sharded run
+SIGKILLed mid-round restarts from per-round checkpoints and completes
+bit-identically to the unfaulted run; with retries exhausted it fails
+fast with :class:`ShardError` -- never a hang -- and never leaks a
+shared-memory segment.  Barrier waits carry a deadline and surface the
+lagging shard through :class:`ShardTimeout`.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+import repro
+import repro.obs as obs
+from repro.bench.workloads import WORKLOADS
+from repro.faults import CrashSpec, FaultPlan, MessageFaults, session
+from repro.graphs import generators as gen
+from repro.obs.events import (
+    EventBus,
+    FaultCrash,
+    FaultDrop,
+    RoundEnd,
+    RoundStart,
+)
+from repro.obs.sinks import MemorySink
+from repro.runtime import (
+    RoundLimitExceeded,
+    ShardError,
+    engine_session,
+    shard_session,
+)
+from repro.runtime import shard as rt_shard
+from repro.zoo.checks import survivor_check
+
+SHARD_COUNTS = (1, 2, 4)
+SEEDS = (0, 1)
+
+#: the matrix plans: strikes by (vertex -> round) and an 8% iid drop --
+#: both exercised on every algorithm, both engines must agree on the
+#: exact event stream they induce
+PLANS = {
+    "crash": FaultPlan(seed=11, crashes=CrashSpec(at={3: 2, 17: 3})),
+    "drop": FaultPlan(seed=7, messages=MessageFaults(drop=0.08)),
+}
+
+ENGINES = (("bulk", None), ("k1", 1), ("k2", 2), ("k4", 4))
+
+
+def _fingerprint(events):
+    """The fault-relevant slice of the event stream, as plain records."""
+    return [
+        e.to_record()
+        for e in events
+        if isinstance(e, (FaultCrash, FaultDrop, RoundStart, RoundEnd))
+    ]
+
+
+def _run(thunk, plan, shards=None, bulk=False):
+    """Run ``thunk`` under ``plan`` (and optionally the bulk engine /
+    a shard session); return a comparable outcome tuple."""
+    from contextlib import ExitStack
+
+    sink = MemorySink()
+    with ExitStack() as stack:
+        if bulk:
+            stack.enter_context(engine_session("bulk"))
+        if shards is not None:
+            stack.enter_context(shard_session(shards))
+        inj = stack.enter_context(session(plan))
+        stack.enter_context(obs.session(EventBus(sink)))
+        try:
+            res = thunk()
+        except RoundLimitExceeded as e:
+            return ("watchdog", tuple(sorted(e.active)), None, None, None)
+    m = res.metrics
+    surface = (m.rounds, tuple(m.active_trace), tuple(m.messages_per_round))
+    return (
+        "ok",
+        _fingerprint(sink.events),
+        surface,
+        res,
+        tuple(sorted(inj.crashed)),
+    )
+
+
+def _assert_matrix(thunk, plan, extract, check=None):
+    """Fast-engine reference vs bulk + sharded {1,2,4}: identical
+    outcome, events, metrics, outputs; survivor-check completed runs."""
+    ref = _run(thunk, plan)
+    if ref[0] == "ok" and check is not None:
+        check(ref[3], set(ref[4]))
+    for label, k in ENGINES:
+        got = _run(thunk, plan, shards=k, bulk=True)
+        if ref[0] == "watchdog":
+            assert got[0] == "watchdog", f"{label}: completed, fast watchdogged"
+            assert got[1] == ref[1], f"{label}: watchdog active sets differ"
+            continue
+        assert got[0] == "ok", f"{label}: watchdogged, fast completed"
+        assert got[4] == ref[4], f"{label}: crashed sets differ"
+        assert got[1] == ref[1], f"{label}: fault event streams differ"
+        assert got[2] == ref[2], f"{label}: metrics surfaces differ"
+        assert extract(got[3]) == extract(ref[3]), f"{label}: outputs differ"
+
+
+# ---------------------------------------------------------------------------
+# the invariance matrix: (luby, cole-vishkin, defective) x engines x plans
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("plan_name", sorted(PLANS))
+@pytest.mark.parametrize("seed", SEEDS)
+def test_luby_fault_matrix(plan_name, seed):
+    g, _a = WORKLOADS["gnp_sparse"](64, seed=seed)
+    ids = gen.random_ids(g.n, seed=1000 + seed)
+    plan = PLANS[plan_name]
+
+    def check(res, crashed):
+        # crash-stop keeps survivors independent; drop plans are NOT
+        # drop-safe for Luby (a lost MIS announcement can yield adjacent
+        # winners), so only crash outcomes get the safety check
+        if plan_name == "crash":
+            survivor_check("mis")(g, res, set(range(g.n)) - crashed)
+
+    _assert_matrix(
+        lambda: repro.run_luby_mis(g, ids=ids, seed=seed),
+        plan,
+        lambda r: (sorted(r.in_mis.items()), sorted(r.h_index.items())),
+        check,
+    )
+
+
+@pytest.mark.parametrize("plan_name", sorted(PLANS))
+@pytest.mark.parametrize("seed", SEEDS)
+def test_cole_vishkin_fault_matrix(plan_name, seed):
+    n = 64
+    g = gen.ring(n)
+    ids = gen.random_ids(n, seed=1000 + seed)
+    plan = PLANS[plan_name]
+
+    def check(res, crashed):
+        # Cole-Vishkin is NOT registered crash-safe (a vertex that keeps
+        # its color while its predecessor reduces can collide), but it
+        # never blocks: every survivor must terminate with a color (a
+        # skipped reduce step legitimately leaves it above the clean
+        # 3-color palette)
+        for v in set(range(n)) - crashed:
+            assert v in res.colors, f"survivor {v} never terminated"
+            assert res.colors[v] >= 0
+
+    _assert_matrix(
+        lambda: repro.run_ring_three_coloring(g, ids=ids, seed=seed),
+        plan,
+        lambda r: (sorted(r.colors.items()), sorted(r.h_index.items())),
+        check,
+    )
+
+
+@pytest.mark.parametrize("plan_name", sorted(PLANS))
+@pytest.mark.parametrize("seed", SEEDS)
+def test_defective_fault_matrix(plan_name, seed):
+    # rings keep the degree bound low enough for a real multi-step
+    # schedule (high-A workloads get an empty schedule and terminate in
+    # one round, which would make this matrix vacuous); mid-schedule
+    # crashes/drops stall the victim's neighbors => both engines must
+    # watchdog on the identical active set
+    from repro.core.defective import run_defective_coloring
+    from repro.verify import assert_defective_coloring
+
+    n = 48 + seed
+    g = gen.ring(n)
+    ids = gen.random_ids(n, seed=1000 + seed)
+    plan = PLANS[plan_name]
+
+    def check(res, crashed):
+        if not crashed:
+            # completion means every needed step was delivered (a
+            # dropped step stalls its receiver forever), so the full
+            # defect bound holds
+            assert_defective_coloring(g, res.colors, res.defect_bound)
+
+    _assert_matrix(
+        lambda: run_defective_coloring(g, 2, ids=ids, seed=seed),
+        plan,
+        lambda r: sorted(r.colors.items()),
+        check,
+    )
+
+
+def test_defective_late_crash_completes_identically():
+    """Strikes scheduled after the run ends exercise the faulted kernel
+    end-to-end without killing anyone: outputs must equal the clean
+    run's."""
+    from repro.core.defective import run_defective_coloring
+
+    g = gen.ring(48)
+    ids = gen.random_ids(48, seed=5)
+    clean = run_defective_coloring(g, 2, ids=ids, seed=0)
+    plan = FaultPlan(seed=11, crashes=CrashSpec(at={3: 900, 17: 901}))
+    for label, k in ENGINES:
+        got = _run(
+            lambda: run_defective_coloring(g, 2, ids=ids, seed=0),
+            plan,
+            shards=k,
+            bulk=True,
+        )
+        assert got[0] == "ok", f"{label}: watchdogged"
+        assert got[4] == (), f"{label}: late strikes must never land"
+        assert sorted(got[3].colors.items()) == sorted(clean.colors.items())
+
+
+# ---------------------------------------------------------------------------
+# executor faults: SIGKILL chaos, fail-fast, leaks, timeouts, stats
+# ---------------------------------------------------------------------------
+
+
+def _partition_instance():
+    g, a = WORKLOADS["gnp_sparse"](400, seed=0)
+    return g, a
+
+
+def test_chaos_sigkill_mid_run_restarts_bit_identical():
+    """A worker SIGKILLed at round 2 is detected, the group restarts
+    from the newest consistent checkpoint, and the completed run is
+    bit-identical to the unfaulted one -- with the loss/restart surfaced
+    in SHARD_STATS and as WorkerLost/WorkerRestart events."""
+    g, a = _partition_instance()
+    with engine_session("bulk"), shard_session(2):
+        ref = repro.run_partition(g, a=a)
+
+    rt_shard.reset_stats()
+    sink = MemorySink()
+    rt_shard.CHAOS.update({"die_at": (1, 2)})
+    try:
+        with engine_session("bulk"), shard_session(2), obs.session(
+            EventBus(sink)
+        ):
+            got = repro.run_partition(g, a=a)
+    finally:
+        rt_shard.CHAOS.clear()
+
+    assert got.h_index == ref.h_index
+    assert got.metrics.active_trace == ref.metrics.active_trace
+    assert got.metrics.messages_per_round == ref.metrics.messages_per_round
+
+    stats = rt_shard.stats_snapshot()
+    assert stats["worker_lost"] >= 1
+    assert stats["worker_restart"] >= 1
+    assert stats["checkpoints"] >= 1
+    kinds = {type(e).__name__ for e in sink.events}
+    assert "WorkerLost" in kinds
+    assert "WorkerRestart" in kinds
+    assert rt_shard.active_segments() == []
+
+
+def test_chaos_sigkill_without_retries_fails_fast():
+    """Retries exhausted (or no consistent checkpoint) => ShardError
+    with the dead worker named -- never a hang -- and no leaked
+    segments."""
+    g, a = _partition_instance()
+    rt_shard.CHAOS.update({"die_at": (0, 1), "retries": 0})
+    try:
+        with engine_session("bulk"), shard_session(2):
+            with pytest.raises(ShardError, match=r"worker\(s\) \[0\] died"):
+                repro.run_partition(g, a=a)
+    finally:
+        rt_shard.CHAOS.clear()
+    assert rt_shard.active_segments() == []
+
+
+def test_chaos_sigkill_under_fault_plan_replays_adversary():
+    """Executor faults compose with model faults: the restarted run
+    replays the counter-based crash adversary bit-identically."""
+    g, a = _partition_instance()
+    plan = FaultPlan(seed=11, crashes=CrashSpec(at={3: 1, 17: 2}))
+    ref = _run(lambda: repro.run_partition(g, a=a), plan, shards=2, bulk=True)
+    assert ref[0] == "ok"
+
+    rt_shard.CHAOS.update({"die_at": (1, 2)})
+    try:
+        got = _run(
+            lambda: repro.run_partition(g, a=a), plan, shards=2, bulk=True
+        )
+    finally:
+        rt_shard.CHAOS.clear()
+    assert got[0] == "ok"
+    assert got[4] == ref[4]
+    assert got[1] == ref[1]
+    assert got[2] == ref[2]
+    assert got[3].h_index == ref[3].h_index
+
+
+def test_shared_arrays_context_manager_releases_segments():
+    """SharedArrays is a context manager; exit (even on error) unlinks
+    every published segment -- the leak counter must read zero."""
+    from repro.runtime.shard import SharedArrays, active_segments
+
+    with SharedArrays() as shared:
+        arr = shared.publish("x", shape=(8,), dtype=np.int64)
+        arr[:] = 7
+        assert len(active_segments()) >= 1
+    assert active_segments() == []
+
+    with pytest.raises(RuntimeError, match="boom"):
+        with SharedArrays() as shared:
+            shared.publish("y", shape=(4,), dtype=np.int64)
+            raise RuntimeError("boom")
+    assert active_segments() == []
+
+
+def test_shard_timeout_names_lagging_shard():
+    """A barrier deadline miss raises ShardTimeout (a ShardError) whose
+    ``lagging`` names the shard with the fewest recorded waits."""
+    from repro.runtime.shard import ShardComm, ShardTimeout, _SCRATCH_LANES
+
+    rt_shard.reset_stats()
+    barrier = threading.Barrier(2)  # nobody else ever arrives
+    scratch = np.zeros((2, 2, _SCRATCH_LANES), dtype=np.int64)
+    hb = np.zeros((2, 2), dtype=np.float64)
+    comm = ShardComm(barrier, scratch, 0, 2, timeout=0.05, hb=hb)
+    with pytest.raises(ShardTimeout, match="lagging shard: 1") as err:
+        comm.sync()
+    assert isinstance(err.value, ShardError)
+    assert err.value.lagging == 1
+    assert rt_shard.stats_snapshot()["barrier_timeouts"] == 1
+
+    # allreduce rides the same guarded wait
+    barrier2 = threading.Barrier(2)
+    comm2 = ShardComm(barrier2, scratch, 1, 2, timeout=0.05, hb=hb)
+    with pytest.raises(ShardTimeout):
+        comm2.allreduce(1, 2, 3)
+
+
+def test_stats_snapshot_and_reset():
+    rt_shard.reset_stats()
+    base = rt_shard.stats_snapshot()
+    assert base == {
+        "worker_lost": 0,
+        "worker_restart": 0,
+        "checkpoints": 0,
+        "barrier_timeouts": 0,
+    }
+    rt_shard.SHARD_STATS["worker_lost"] += 1
+    snap = rt_shard.stats_snapshot()
+    assert snap["worker_lost"] == 1
+    snap["worker_lost"] = 99  # snapshots are copies, not views
+    assert rt_shard.SHARD_STATS["worker_lost"] == 1
+    rt_shard.reset_stats()
+    assert rt_shard.stats_snapshot()["worker_lost"] == 0
+
+
+# ---------------------------------------------------------------------------
+# the fuzz population grows with the registry
+# ---------------------------------------------------------------------------
+
+
+def test_fuzz_population_includes_luby_mis():
+    """Flipping ``crash_safe`` in the registry is all it takes: the
+    fuzzer's default population derives from ``zoo.crash_safe()``."""
+    from repro.faults.fuzz import default_population
+
+    pop = default_population()
+    assert "luby-mis" in pop
+    assert "partition" in pop
+
+
+def test_luby_crash_fuzz_case_never_violates():
+    """A crash-only plan on luby-mis classifies as valid or watchdog
+    non-termination -- never a survivor-safety violation."""
+    from repro.faults.harness import (
+        OUTCOME_NONTERMINATION,
+        OUTCOME_VALID,
+        FuzzCase,
+        run_case,
+    )
+
+    for seed in SEEDS:
+        case = FuzzCase(
+            algorithm="luby-mis",
+            workload="gnp_sparse",
+            n=64,
+            seed=seed,
+            plan=FaultPlan(
+                seed=20 + seed, crashes=CrashSpec(at={3: 1}, hazard=0.01)
+            ),
+        )
+        outcome = run_case(case)
+        assert not outcome.failed, outcome.describe()
+        assert outcome.status in (OUTCOME_VALID, OUTCOME_NONTERMINATION)

@@ -303,11 +303,11 @@ def test_faulted_trace_is_shard_count_invariant():
 
 
 def test_sharded_rejects_unsupported_fault_plans():
-    """Duplicate/delay plans have no sharded seam; and the non-Partition
-    sharded drivers reject any fault session, like their bulk twins."""
+    """Duplicate/delay plans have no sharded seam anywhere in the bulk
+    zoo -- crash-stop and drop plans do (see test_fault_matrix.py)."""
     import repro
     from repro import faults as flt
-    from repro.faults import CrashSpec, FaultPlan, MessageFaults
+    from repro.faults import FaultPlan, MessageFaults
     from repro.runtime import BulkUnsupported
 
     g, a, ids = _instance("forest_union_a3", 0, n=40)
@@ -315,9 +315,11 @@ def test_sharded_rejects_unsupported_fault_plans():
     with engine_session("bulk"), shard_session(2), flt.session(dup):
         with pytest.raises(BulkUnsupported, match="duplicate/delay"):
             repro.run_partition(g, a=a, ids=ids)
-    crash = FaultPlan(seed=1, crashes=CrashSpec(at={0: 2}))
-    with engine_session("bulk"), shard_session(2), flt.session(crash):
-        with pytest.raises(BulkUnsupported, match="fault injection"):
+        with pytest.raises(BulkUnsupported, match="duplicate/delay"):
+            repro.run_luby_mis(g, ids=ids, seed=0)
+    delay = FaultPlan(seed=1, messages=MessageFaults(delay=0.1, max_delay=2))
+    with engine_session("bulk"), shard_session(2), flt.session(delay):
+        with pytest.raises(BulkUnsupported, match="duplicate/delay"):
             repro.run_luby_mis(g, ids=ids, seed=0)
 
 
@@ -395,8 +397,9 @@ def test_execute_shards_requires_bulk_engine():
 
 
 def test_execute_sharded_fault_plan_passes_through():
-    """execute() lets a plan through to the sharded driver (which owns
-    the support matrix), instead of rejecting it like unsharded bulk."""
+    """execute() lets a plan through to the bulk/sharded drivers (which
+    own the support matrix) -- sharded or not, the fault-aware kernel
+    replays the same adversary the fast engine draws."""
     from repro import zoo
     from repro.faults import CrashSpec, FaultPlan
 
@@ -407,9 +410,11 @@ def test_execute_sharded_fault_plan_passes_through():
     assert ex.completed
     assert ex.crashed == ref.crashed
     assert ex.result.h_index == ref.result.h_index
-    # unsharded bulk still refuses, and the message points at sharding
-    with pytest.raises(ValueError, match="shard"):
-        zoo.execute("partition", g, a, ids, 0, engine="bulk", faults=plan)
+    # unsharded bulk delegates to the in-process fault kernel and agrees
+    unsharded = zoo.execute("partition", g, a, ids, 0, engine="bulk", faults=plan)
+    assert unsharded.completed
+    assert unsharded.crashed == ref.crashed
+    assert unsharded.result.h_index == ref.result.h_index
 
 
 def test_shard_session_validates_arguments():

@@ -113,11 +113,29 @@ class TestEngines:
         with pytest.raises(ValueError, match="baseline.*no bulk driver"):
             zoo.execute("partition", g, a, ids, 0, baseline=True, engine="bulk")
 
-    def test_bulk_rejects_fault_plans(self):
+    def test_bulk_accepts_crash_plans_and_agrees_with_fast(self):
+        # bulk drivers delegate to their fault-aware sharded twins under
+        # an active plan; the counter-based adversary replays exactly
         g, a, ids = _instance(n=24)
         plan = FaultPlan(seed=1, crashes=CrashSpec(hazard=0.1))
-        with pytest.raises(ValueError, match="fault injection"):
-            zoo.execute("partition", g, a, ids, 0, engine="bulk", faults=plan)
+        ref = zoo.execute("partition", g, a, ids, 0, faults=plan)
+        got = zoo.execute("partition", g, a, ids, 0, engine="bulk", faults=plan)
+        assert got.completed and got.faulted
+        assert got.crashed == ref.crashed
+        assert got.result.h_index == ref.result.h_index
+        got.validate(g)  # survivor-restricted check under a live plan
+
+    def test_bulk_rejects_duplicate_and_delay_plans(self):
+        from repro.faults import MessageFaults
+        from repro.runtime import BulkUnsupported
+
+        g, a, ids = _instance(n=24)
+        plan = FaultPlan(seed=1, messages=MessageFaults(duplicate=0.5))
+        ex = zoo.execute(
+            "partition", g, a, ids, 0, engine="bulk", faults=plan,
+            capture_errors=True,
+        )
+        assert isinstance(ex.error, BulkUnsupported)
 
     def test_bulk_accepts_empty_fault_plan(self):
         g, a, ids = _instance(n=24)
