@@ -43,6 +43,8 @@ from repro.core.one_plus_eta import run_one_plus_eta_coloring, run_legal_colorin
 from repro.core.extension import run_delta_plus_one_coloring, run_mis
 from repro.core.edgealgo import run_edge_coloring, run_maximal_matching
 from repro.core.randomized import run_rand_delta_plus_one, run_aloglogn_coloring
+from repro.core.consensus import run_consensus
+from repro.related.leader_election import run_leader_election
 from repro.baselines import (
     run_linial_coloring,
     run_delta_plus_one_worstcase,
@@ -85,6 +87,8 @@ __all__ = [
     "run_maximal_matching",
     "run_rand_delta_plus_one",
     "run_aloglogn_coloring",
+    "run_consensus",
+    "run_leader_election",
     "run_linial_coloring",
     "run_delta_plus_one_worstcase",
     "run_luby_mis",

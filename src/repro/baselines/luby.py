@@ -87,4 +87,5 @@ def run_luby_mis(
         in_mis={v: flag for v, (att, flag) in res.outputs.items()},
         h_index={v: att for v, (att, flag) in res.outputs.items()},
         metrics=res.metrics,
+        times=res.times,
     )

@@ -34,7 +34,7 @@ from repro import zoo
 from repro.bench import WORKLOADS, make_workload, paper_tables, render_spec_comparison
 from repro.graphs import generators as gen
 from repro.obs import report as obs_report
-from repro.runtime import ENGINES
+from repro.runtime import DELAY_DISTS, ENGINES, MODES
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -68,6 +68,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="round engine: the optimised fast path (default), the "
         "reference executable specification, or the columnar bulk "
         "engine (bulk-capable algorithms only)",
+    )
+    run.add_argument(
+        "--mode",
+        default="sync",
+        choices=MODES,
+        help="execution mode: the synchronous global-round barrier "
+        "(default) or the event-driven asynchronous executor with "
+        "seeded per-edge delivery times (outputs are identical; async "
+        "additionally reports virtual-time metrics)",
+    )
+    run.add_argument(
+        "--delay-dist",
+        default=None,
+        choices=DELAY_DISTS,
+        help="link-delay distribution for --mode async "
+        "(default: fixed unit delays)",
+    )
+    run.add_argument(
+        "--delay-scale",
+        type=float,
+        default=1.0,
+        metavar="S",
+        help="mean link delay for --delay-dist (default 1.0)",
+    )
+    run.add_argument(
+        "--delay-seed",
+        type=int,
+        default=0,
+        metavar="K",
+        help="seed of the per-edge delay draws (default 0)",
     )
     run.add_argument(
         "--shards",
@@ -272,6 +302,14 @@ def cmd_run(args, out=None) -> int:
     """Run one algorithm through the zoo pipeline, validate, print."""
     out = out or sys.stdout
     spec = zoo.get(args.algorithm)
+    if spec.workloads and args.workload not in spec.workloads:
+        print(
+            f"run: algorithm {spec.name} only runs on workload(s) "
+            f"{', '.join(spec.workloads)} (got {args.workload}); "
+            f"pass --workload {spec.workloads[0]}",
+            file=out,
+        )
+        return 2
     workload = make_workload(args.workload)
     g, a = workload(args.n, seed=args.seed)
     ids = gen.random_ids(g.n, seed=args.seed + 1)
@@ -282,6 +320,20 @@ def cmd_run(args, out=None) -> int:
         plan = _parse_fault_plan(faults_spec)
     trace_out = getattr(args, "trace_out", None)
 
+    mode = getattr(args, "mode", "sync")
+    delays = None
+    if getattr(args, "delay_dist", None) is not None:
+        if mode != "async":
+            print("run: --delay-dist requires --mode async", file=out)
+            return 2
+        from repro.runtime import DelaySpec
+
+        delays = DelaySpec(
+            dist=args.delay_dist,
+            scale=args.delay_scale,
+            seed=args.delay_seed,
+        )
+
     ex = zoo.execute(
         spec,
         g,
@@ -291,6 +343,8 @@ def cmd_run(args, out=None) -> int:
         engine=getattr(args, "engine", "fast"),
         shards=getattr(args, "shards", None),
         partitioner=getattr(args, "partitioner", "range"),
+        mode=mode,
+        delays=delays,
         faults=plan,
         trace=trace_out,
         trace_meta={
@@ -311,6 +365,9 @@ def cmd_run(args, out=None) -> int:
     m = ex.result.metrics
     print(f"workload : {args.workload}, {g} (a <= {a}, Delta = {g.max_degree()})", file=out)
     print(f"algorithm: {args.algorithm}", file=out)
+    if mode != "sync":
+        desc = delays.describe() if delays is not None else "fixed unit delays"
+        print(f"mode     : {mode} ({desc})", file=out)
     if ex.faulted:
         print(f"faults   : {ex.plan.describe()}", file=out)
     print(f"solution : {summary}", file=out)
@@ -320,6 +377,14 @@ def cmd_run(args, out=None) -> int:
         f"median {m.quantile(0.5)}",
         file=out,
     )
+    t = getattr(ex.result, "times", None)
+    if t is not None:
+        print(
+            f"time     : vertex-averaged {t.vertex_averaged_time:.2f} | "
+            f"worst-case {t.worst_case_time:.2f} | "
+            f"averaged output time {t.averaged_output_time:.2f}",
+            file=out,
+        )
     if trace_out:
         print(f"trace    : {trace_out} (repro inspect {trace_out})", file=out)
         if ex.manifest is not None:
@@ -384,6 +449,7 @@ def cmd_inspect(args, out=None) -> int:
         print(
             f"manifest : key {manifest.get('key', '?')[:12]} "
             f"engine={manifest.get('engine')} "
+            f"mode={manifest.get('mode', 'sync')} "
             f"shards={manifest.get('shards')} "
             f"status={manifest.get('status')}",
             file=out,
@@ -435,7 +501,9 @@ def _cmd_timeline(trace_path: str, out) -> int:
     timing = manifest.get("timing") or {}
     print(
         f"timeline : {manifest.get('algo')} n={manifest.get('n')} "
-        f"engine={manifest.get('engine')} shards={manifest.get('shards')} "
+        f"engine={manifest.get('engine')} "
+        f"mode={manifest.get('mode', 'sync')} "
+        f"shards={manifest.get('shards')} "
         f"(key {manifest.get('key', '?')[:12]})",
         file=out,
     )
@@ -495,7 +563,8 @@ def cmd_fuzz(args, out=None) -> int:
     algorithms = args.algorithms.split(",") if args.algorithms else None
     if args.smoke:
         report = fz.smoke(
-            budget=args.budget, seed=args.seed, out_dir=args.out, log=log
+            budget=args.budget, seed=args.seed, out_dir=args.out,
+            algorithms=algorithms, log=log,
         )
     else:
         report = fz.fuzz(

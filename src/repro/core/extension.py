@@ -36,7 +36,7 @@ from repro.core.coverfree import palette_schedule
 from repro.core.partition import join_h_set
 from repro.graphs.graph import Graph
 from repro.runtime.context import Context
-from repro.runtime.metrics import RoundMetrics
+from repro.runtime.metrics import RoundMetrics, TimeMetrics
 from repro.runtime.network import SyncNetwork
 
 
@@ -161,6 +161,8 @@ class MISResult:
     in_mis: dict[int, bool]
     h_index: dict[int, int]
     metrics: RoundMetrics
+    #: virtual-time accounting; only asynchronous-mode runs fill this in
+    times: "TimeMetrics | None" = None
 
     @property
     def mis(self) -> set[int]:
@@ -206,4 +208,5 @@ def run_mis(
         in_mis={v: flag for v, (h, flag) in res.outputs.items()},
         h_index={v: h for v, (h, flag) in res.outputs.items()},
         metrics=res.metrics,
+        times=res.times,
     )

@@ -21,7 +21,7 @@ from typing import Callable, Generator, Sequence
 from repro.core.common import JOIN, LocalView, degree_bound, partition_length_bound
 from repro.graphs.graph import Graph
 from repro.runtime.context import Context
-from repro.runtime.metrics import RoundMetrics
+from repro.runtime.metrics import RoundMetrics, TimeMetrics
 from repro.runtime.network import RunResult, SyncNetwork, current_engine
 
 
@@ -63,6 +63,8 @@ class PartitionResult:
     h_index: dict[int, int]
     A: int
     metrics: RoundMetrics
+    #: virtual-time accounting; only asynchronous-mode runs fill this in
+    times: "TimeMetrics | None" = None
 
     @property
     def num_sets(self) -> int:
@@ -105,7 +107,9 @@ def run_partition(
 
     net = SyncNetwork(graph, ids=ids, seed=seed, config={"a": a, "eps": eps, "A": A})
     res = net.run(program, max_rounds=partition_length_bound(graph.n, eps) + 4)
-    return PartitionResult(h_index=dict(res.outputs), A=A, metrics=res.metrics)
+    return PartitionResult(
+        h_index=dict(res.outputs), A=A, metrics=res.metrics, times=res.times
+    )
 
 
 # ---------------------------------------------------------------------------

@@ -107,6 +107,24 @@ def sample_plan(rng: random.Random, crash_only: bool = False) -> FaultPlan:
     return FaultPlan(seed=plan_seed, crashes=crashes, messages=messages)
 
 
+def _workloads_for(algorithm: str, workloads: Sequence[str]) -> list[str]:
+    """The workload pool one algorithm's cases may sample from.
+
+    A spec with a :attr:`~repro.zoo.spec.AlgorithmSpec.workloads`
+    restriction (e.g. ring-only leader election) is only ever paired
+    with its declared topologies; everything else draws from the shared
+    pool.  Unknown names (tests inject fake specs) fall back to the
+    shared pool and fail at run time instead.
+    """
+    from repro import zoo
+
+    try:
+        restricted = zoo.get(algorithm).workloads
+    except KeyError:
+        restricted = ()
+    return list(restricted) if restricted else list(workloads)
+
+
 def sample_cases(
     budget: int,
     seed: int = 0,
@@ -121,9 +139,10 @@ def sample_cases(
         list(algorithms) if algorithms is not None else sorted(default_population())
     )
     for _ in range(budget):
+        algorithm = rng.choice(algos)
         yield FuzzCase(
-            algorithm=rng.choice(algos),
-            workload=rng.choice(list(workloads)),
+            algorithm=algorithm,
+            workload=rng.choice(_workloads_for(algorithm, workloads)),
             n=rng.choice(list(ns)),
             seed=rng.randrange(10_000),
             plan=sample_plan(rng, crash_only=crash_only),
@@ -224,13 +243,19 @@ def fuzz(
 
 
 def smoke(
-    budget: int = 30, seed: int = 0, out_dir: str | None = None, log=None
+    budget: int = 30,
+    seed: int = 0,
+    out_dir: str | None = None,
+    algorithms: Sequence[str] | None = None,
+    log=None,
 ) -> FuzzReport:
-    """The CI gate: crash-only plans over the whole zoo, zero violations."""
+    """The CI gate: crash-only plans over the whole zoo (or the
+    ``algorithms`` subset), zero violations."""
     return fuzz(
         budget=budget,
         seed=seed,
         out_dir=out_dir,
+        algorithms=algorithms,
         ns=SMOKE_NS,
         crash_only=True,
         log=log,

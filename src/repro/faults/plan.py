@@ -70,6 +70,32 @@ def _msg_key(seed: int, rnd: int, src: int, dst: int, k: int) -> str:
     return f"{seed}:msg:{rnd}:{src}:{dst}:{k}"
 
 
+def message_fates(
+    mf: "MessageFaults", seed: int, rnd: int, src: int, dst: int, k: int
+) -> tuple[int, ...]:
+    """The full counter-based fate draw for one routed copy, as a pure
+    function: the extra-delay values of the copies to route.
+
+    ``()`` is a drop, ``(0,)`` normal delivery, ``(d,)`` a delay by ``d``
+    extra rounds, ``(0, 0)``/``(d, 0)`` a duplication.  This is the draw
+    :meth:`FaultInjector.fate` makes, factored out so executors that
+    evaluate fates outside an injector -- the sharded bulk workers and
+    the asynchronous event-queue scheduler, where ``rnd`` is the sender's
+    *local* round -- replay the identical fault stream.  The draw order
+    (drop, then delay, then duplicate, all off one keyed RNG) is part of
+    the determinism contract; do not reorder.
+    """
+    rng = random.Random(_msg_key(seed, rnd, src, dst, k))
+    if mf.drop and rng.random() < mf.drop:
+        return ()
+    fates: tuple[int, ...] = (0,)
+    if mf.delay and rng.random() < mf.delay:
+        fates = (1 + rng.randrange(mf.max_delay),)
+    if mf.duplicate and rng.random() < mf.duplicate:
+        fates = fates + (0,)
+    return fates
+
+
 def drop_fate(seed: int, rnd: int, src: int, dst: int, k: int, drop: float) -> bool:
     """The counter-based drop draw: is copy ``k`` of ``src -> dst`` in
     session round ``rnd`` dropped?
@@ -341,22 +367,16 @@ class FaultInjector:
         key = (src, dst)
         k = self._pair_k.get(key, 0)
         self._pair_k[key] = k + 1
-        rng = random.Random(_msg_key(self.plan.seed, self._round, src, dst, k))
+        fates = message_fates(mf, self.plan.seed, self._round, src, dst, k)
         emit = self._emit
-        if mf.drop and rng.random() < mf.drop:
-            if emit is not None:
+        if emit is not None:
+            if not fates:
                 emit(FaultDrop(rnd, src, dst))
-            return ()
-        fates: tuple[int, ...] = (0,)
-        if mf.delay and rng.random() < mf.delay:
-            d = 1 + rng.randrange(mf.max_delay)
-            fates = (d,)
-            if emit is not None:
-                emit(FaultDelay(rnd, src, dst, d))
-        if mf.duplicate and rng.random() < mf.duplicate:
-            fates = fates + (0,)
-            if emit is not None:
-                emit(FaultDup(rnd, src, dst))
+            else:
+                if fates[0]:
+                    emit(FaultDelay(rnd, src, dst, fates[0]))
+                if len(fates) > 1:
+                    emit(FaultDup(rnd, src, dst))
         return fates
 
     def hold(self, extra: int, src: int, dst: int, payload: Any) -> None:

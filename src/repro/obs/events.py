@@ -175,6 +175,23 @@ class FaultDelay(Event):
 
 
 @dataclass(frozen=True, slots=True)
+class Delivery(Event):
+    """Asynchronous-mode token delivery: the round-``round`` token on the
+    directed edge ``src -> dst`` arrived at virtual time ``t``.
+
+    Only the event-queue scheduler (:mod:`repro.runtime.async_sched`)
+    emits these -- the synchronous barrier has no per-edge delivery times.
+    ``round`` is the *sender's* local round; the receiver observes the
+    token's payloads during its local round ``round + 1``.
+    """
+
+    kind: ClassVar[str] = "delivery"
+    src: int
+    dst: int
+    t: float
+
+
+@dataclass(frozen=True, slots=True)
 class WorkerLost(Event):
     """The sharded executor detected worker process ``shard`` dead
     (SIGKILL, OOM-kill, ...); ``round`` is the newest consistent
@@ -221,6 +238,7 @@ EVENT_TYPES: dict[str, type[Event]] = {
         FaultDrop,
         FaultDup,
         FaultDelay,
+        Delivery,
         WorkerLost,
         WorkerRestart,
         Checkpoint,

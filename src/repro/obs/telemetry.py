@@ -445,6 +445,13 @@ class RunManifest:
     results (timing, metrics, status) are recorded but deliberately kept
     *out* of the key: all engines are pinned bit-identical, so the same
     experiment on a different engine or shard count is the same result.
+
+    The execution *mode* straddles the line: outputs and round counts
+    are mode-invariant (the async executor is an alpha-synchronizer),
+    but an async run additionally measures virtual time under a specific
+    link-delay model, so ``mode`` and ``delays`` join the identity
+    **only when the mode is not "sync"** -- every key minted before the
+    mode existed, and every future sync key, is byte-for-byte stable.
     """
 
     algo: str
@@ -454,6 +461,8 @@ class RunManifest:
     seed: int
     fault_plan_hash: str = ""
     engine: str = "fast"
+    mode: str = "sync"
+    delays: dict = field(default_factory=dict)
     shards: int = 0
     partitioner: str = ""
     baseline: bool = False
@@ -466,15 +475,17 @@ class RunManifest:
     @property
     def key(self) -> str:
         """sha256 content address over the identity fields only."""
-        return _digest(
-            {
-                "spec": self.spec_hash,
-                "workload": self.workload,
-                "n": self.n,
-                "seed": self.seed,
-                "faults": self.fault_plan_hash,
-            }
-        )
+        ident = {
+            "spec": self.spec_hash,
+            "workload": self.workload,
+            "n": self.n,
+            "seed": self.seed,
+            "faults": self.fault_plan_hash,
+        }
+        if self.mode != "sync":
+            ident["mode"] = self.mode
+            ident["delays"] = self.delays
+        return _digest(ident)
 
     def to_record(self) -> dict:
         return {
@@ -488,6 +499,8 @@ class RunManifest:
             "seed": self.seed,
             "fault_plan_hash": self.fault_plan_hash,
             "engine": self.engine,
+            "mode": self.mode,
+            "delays": self.delays,
             "shards": self.shards,
             "partitioner": self.partitioner,
             "baseline": self.baseline,
@@ -507,6 +520,8 @@ class RunManifest:
             seed=rec["seed"],
             fault_plan_hash=rec.get("fault_plan_hash", ""),
             engine=rec.get("engine", "fast"),
+            mode=rec.get("mode", "sync"),
+            delays=dict(rec.get("delays", {})),
             shards=rec.get("shards", 0),
             partitioner=rec.get("partitioner", ""),
             baseline=rec.get("baseline", False),
@@ -525,6 +540,8 @@ def build_manifest(
     seed: int,
     workload: str = "",
     engine: str = "fast",
+    mode: str = "sync",
+    delays=None,
     shards: int = 0,
     partitioner: str = "",
     baseline: bool = False,
@@ -534,7 +551,18 @@ def build_manifest(
     metrics: Mapping | None = None,
     status: str = "ok",
 ) -> RunManifest:
-    """Assemble a :class:`RunManifest` from ``zoo.execute()``'s inputs."""
+    """Assemble a :class:`RunManifest` from ``zoo.execute()``'s inputs.
+
+    ``delays`` accepts the :class:`~repro.runtime.async_sched.DelaySpec`
+    object itself (canonicalized via its ``to_dict``) or an
+    already-serialized mapping.
+    """
+    if delays is None:
+        delays_dict: dict = {}
+    elif isinstance(delays, Mapping):
+        delays_dict = dict(delays)
+    else:
+        delays_dict = delays.to_dict()
     return RunManifest(
         algo=spec.name + (":baseline" if baseline else ""),
         spec_hash=spec_fingerprint(spec, baseline=baseline),
@@ -543,6 +571,8 @@ def build_manifest(
         seed=seed,
         fault_plan_hash=plan_fingerprint(plan),
         engine=engine,
+        mode=mode,
+        delays=delays_dict,
         shards=shards,
         partitioner=partitioner,
         baseline=baseline,

@@ -27,7 +27,7 @@ from typing import Sequence
 
 from repro.graphs.graph import Graph
 from repro.runtime.context import Context
-from repro.runtime.metrics import RoundMetrics
+from repro.runtime.metrics import RoundMetrics, TimeMetrics
 from repro.runtime.network import SyncNetwork
 
 PROBE = "probe"      # (origin_id, direction, remaining_hops)
@@ -46,6 +46,7 @@ class LeaderElectionResult:
     outputs: dict[int, str]
     metrics: RoundMetrics          # termination-based (Theta(n) for all)
     output_metrics: RoundMetrics   # commit-based (O(log n) averaged)
+    times: TimeMetrics | None = None  # virtual-time accounting (async runs)
 
 
 def run_leader_election(
@@ -146,4 +147,5 @@ def run_leader_election(
         outputs=dict(res.outputs),
         metrics=res.metrics,
         output_metrics=res.output_metrics,
+        times=res.times,
     )

@@ -12,6 +12,7 @@ Vertex programs are written as generator coroutines: one ``yield`` per
 communication round (see :mod:`repro.runtime.program`).
 """
 
+from repro.runtime.async_sched import DELAY_DISTS, DelaySpec, run_async
 from repro.runtime.bulk import BulkUnsupported, bulk_broadcast_kernel
 from repro.runtime.context import Context, RouterState
 from repro.runtime.network import (
@@ -24,8 +25,14 @@ from repro.runtime.network import (
     default_max_rounds,
     engine_session,
 )
-from repro.runtime.metrics import RoundMetrics
+from repro.runtime.metrics import RoundMetrics, TimeMetrics
 from repro.runtime.program import wait_rounds, wait_until_round
+from repro.runtime.scheduler import (
+    MODES,
+    SyncBarrierScheduler,
+    current_mode,
+    mode_session,
+)
 from repro.runtime.reference import ReferenceSyncNetwork
 from repro.runtime.shard import (
     ShardError,
@@ -39,7 +46,10 @@ from repro.runtime.trace import Trace, TraceRecorder
 __all__ = [
     "BulkUnsupported",
     "Context",
+    "DELAY_DISTS",
+    "DelaySpec",
     "ENGINES",
+    "MODES",
     "MaxRoundsExceeded",
     "ReferenceSyncNetwork",
     "RoundLimitExceeded",
@@ -49,14 +59,19 @@ __all__ = [
     "ShardError",
     "ShardSession",
     "ShardTimeout",
+    "SyncBarrierScheduler",
     "SyncNetwork",
+    "TimeMetrics",
     "Trace",
     "TraceRecorder",
     "bulk_broadcast_kernel",
     "current_engine",
+    "current_mode",
     "current_shards",
     "default_max_rounds",
     "engine_session",
+    "mode_session",
+    "run_async",
     "shard_session",
     "wait_rounds",
     "wait_until_round",

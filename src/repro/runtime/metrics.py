@@ -81,6 +81,75 @@ class RoundMetrics:
         )
 
 
+@dataclass(frozen=True)
+class TimeMetrics:
+    """Virtual-time accounting of one *asynchronous* execution.
+
+    The event-queue scheduler (:mod:`repro.runtime.async_sched`) assigns
+    every token a seeded per-edge delivery time; a vertex's completion
+    time t(v) is the virtual time at which it executed its final local
+    round (its crash point, for adversary-crashed vertices).  Times are
+    *normalized* to round-equivalents by ``1 + t / mean_delay`` so they
+    are comparable with round counts: under the degenerate fixed
+    unit-delay distribution the normalized completion time of a vertex on
+    a critical chain equals its synchronous round count exactly (round 1
+    executes at t = 0, hence the ``1 +``).
+
+    ``output_times`` is the commit-definition analogue (Feuilloley's
+    first definition): the time the vertex *fixed* its output, which is
+    its commit time when the program called ``ctx.commit`` earlier.
+    """
+
+    #: virtual completion time per vertex, indexed by vertex
+    times: tuple[float, ...]
+    #: virtual time at which each vertex's output was fixed
+    output_times: tuple[float, ...] = field(default=())
+    #: mean link delay of the distribution the run used (normalization)
+    mean_delay: float = 1.0
+
+    @property
+    def n(self) -> int:
+        return len(self.times)
+
+    def _normalize(self, ts: tuple[float, ...]) -> tuple[float, ...]:
+        m = self.mean_delay or 1.0
+        return tuple(1.0 + t / m for t in ts)
+
+    @property
+    def normalized_times(self) -> tuple[float, ...]:
+        """Per-vertex completion times in round-equivalents."""
+        return self._normalize(self.times)
+
+    @property
+    def vertex_averaged_time(self) -> float:
+        """T-bar over virtual time: mean normalized completion time."""
+        if not self.times:
+            return 0.0
+        return sum(self.normalized_times) / len(self.times)
+
+    @property
+    def worst_case_time(self) -> float:
+        """Max normalized completion time (0.0 for the empty graph)."""
+        return max(self.normalized_times, default=0.0)
+
+    @property
+    def averaged_output_time(self) -> float:
+        """Vertex-averaged normalized *output* time -- the asynchronous
+        analogue of the commit-based averaged measure."""
+        ts = self.output_times or self.times
+        if not ts:
+            return 0.0
+        return sum(self._normalize(ts)) / len(ts)
+
+    def summary(self) -> str:
+        return (
+            f"n={self.n} avg-time={self.vertex_averaged_time:.3f} "
+            f"worst-time={self.worst_case_time:.3f} "
+            f"avg-output-time={self.averaged_output_time:.3f} "
+            f"(mean delay {self.mean_delay:g})"
+        )
+
+
 def merge_metrics(parts: list[RoundMetrics]) -> RoundMetrics:
     """Combine metrics of executions on disjoint vertex sets (used when an
     algorithm is run independently per connected component)."""

@@ -71,9 +71,10 @@ from typing import Any, Callable, Generator, Mapping, Sequence
 
 import repro.obs as obs
 from repro.graphs.graph import Graph
-from repro.obs.events import Drop, Halt, RoundEnd, RoundStart
+from repro.obs.events import Drop
 from repro.runtime.context import _EMPTY_FROZENSET, Context, RouterState
-from repro.runtime.metrics import RoundMetrics
+from repro.runtime.metrics import RoundMetrics, TimeMetrics
+from repro.runtime.scheduler import SyncBarrierScheduler
 
 ProgramFactory = Callable[[Context], Generator[None, None, Any]]
 
@@ -142,6 +143,10 @@ class RunResult:
     #: they have no entry in ``outputs`` and their ``metrics.rounds`` value
     #: is the number of rounds they were active before crashing.
     crashed: tuple[int, ...] = ()
+    #: virtual-time accounting (:class:`~repro.runtime.metrics
+    #: .TimeMetrics`); only the asynchronous executor fills this in --
+    #: synchronous runs have no per-edge delivery times and leave it None.
+    times: "TimeMetrics | None" = None
 
     @property
     def vertex_averaged(self) -> float:
@@ -390,6 +395,17 @@ class SyncNetwork:
         whole delegation).
         """
         if type(self) is SyncNetwork:
+            from repro.runtime.scheduler import current_mode
+
+            if current_mode() == "async":
+                # The event-queue scheduler replaces the global-round
+                # barrier entirely; engine selection does not apply (the
+                # async executor has exactly one implementation).
+                from repro.runtime.async_sched import run_async
+
+                return run_async(
+                    self, program, max_rounds, collect_messages, bus, faults
+                )
             eng = current_engine()
             if eng == "reference":
                 from repro.runtime.reference import ReferenceSyncNetwork
@@ -436,59 +452,31 @@ class SyncNetwork:
         router.slots_next = slots_next
         router.dirty = dirty_next
 
-        outputs: dict[int, Any] = {}
-        rounds = [0] * n
-        active: list[int] = list(range(n))
-        if injector is not None:
-            # crash-stop persists across a session's runs: vertices crashed
-            # in an earlier phase never even start here
-            pre_crashed = injector.begin_run(emit)
-            if pre_crashed:
-                for v in pre_crashed:
-                    if v < n and gens[v] is not None:
-                        gens[v].close()
-                        gens[v] = None
-                active = [v for v in active if gens[v] is not None]
-            if injector.messages_active:
-                for ctx in contexts:
-                    ctx._faults = injector
-        active_trace: list[int] = []
-        msg_trace: list[int] = []
-        rnd = 0
-        newly_halted: list[tuple[int, Any]] = []
+        # The barrier scheduler owns the round progression: crash
+        # application, watchdog, active/message traces, halt bookkeeping.
+        # This engine supplies only the mail mechanics (pooled slots).
+        sched = SyncBarrierScheduler(
+            contexts, gens, max_rounds, emit, injector, collect_messages
+        )
+        sched.begin_run()
 
-        while active:
-            rnd += 1
-            if injector is not None:
-                # The crash half of the injection hook: crashed vertices
-                # perform no computation from this round on and announce
-                # nothing; delayed copies due now join this round's mail.
-                crashes, due = injector.on_round(rnd, active)
-                if crashes:
-                    for v in crashes:
-                        gens[v].close()
-                        gens[v] = None
-                        rounds[v] = rnd - 1
-                    active = [v for v in active if gens[v] is not None]
-                    if not active:
-                        break
-                for src, dst, payload in due:
-                    if gens[dst] is not None:
-                        slots_cur[dst].append((src, payload))
-                        dirty_cur.append(dst)
-            if rnd > max_rounds:
-                raise RoundLimitExceeded(max_rounds, active, contexts)
-            active_trace.append(len(active))
-            if emit is not None:
-                emit(RoundStart(rnd, len(active)))
+        while True:
+            nxt = sched.next_round()
+            if nxt is None:
+                break
+            rnd, due, halted = nxt
+            # Delayed copies due now join this round's mail.
+            for src, dst, payload in due:
+                slots_cur[dst].append((src, payload))
+                dirty_cur.append(dst)
             if prof is not None:
                 _t0 = perf_counter()
 
             # Deliver termination notices from the previous round (fan-out
             # over the terminated vertices' CSR rows).
-            if newly_halted:
+            if halted:
                 notice_for: dict[int, set[int]] = {}
-                for v, out in newly_halted:
+                for v, out in halted:
                     for u in rows[v]:
                         cu = contexts[u]
                         cu.halted[v] = out
@@ -519,7 +507,6 @@ class SyncNetwork:
                 cleared: set[int] | tuple = set(notice_for)
             else:
                 cleared = ()
-            newly_halted = []
 
             if prof is not None:
                 _t1 = perf_counter()
@@ -527,7 +514,7 @@ class SyncNetwork:
                 _t0 = _t1
 
             still_active: list[int] = []
-            for v in active:
+            for v in sched.active:
                 ctx = contexts[v]
                 ctx._mail = slots_cur[v]
                 ctx._inbox_d = None
@@ -535,29 +522,7 @@ class SyncNetwork:
                 ctx._sent_round = 0
                 if ctx.newly_halted and v not in cleared:
                     ctx.newly_halted = _EMPTY_FROZENSET
-                try:
-                    yielded = next(gens[v])
-                    if yielded is not None:
-                        raise RuntimeError(
-                            f"vertex {v} yielded {yielded!r}; programs must "
-                            "use bare `yield` (send via ctx.send/broadcast)"
-                        )
-                except StopIteration as stop:
-                    if ctx._commit_round is not None:
-                        if stop.value is not None and stop.value != ctx._commit_value:
-                            raise RuntimeError(
-                                f"vertex {v} returned {stop.value!r} after "
-                                f"committing {ctx._commit_value!r}"
-                            )
-                        outputs[v] = ctx._commit_value
-                    else:
-                        outputs[v] = stop.value
-                    rounds[v] = rnd
-                    gens[v] = None
-                    newly_halted.append((v, outputs[v]))
-                    if emit is not None:
-                        emit(Halt(rnd, v))
-                else:
+                if sched.step_vertex(v):
                     still_active.append(v)
 
             if prof is not None:
@@ -568,8 +533,8 @@ class SyncNetwork:
             # Messages routed this round to a receiver that terminated this
             # same round can never be delivered: drop them and take them
             # out of the message count (their senders could not yet know).
-            if newly_halted:
-                for v, _ in newly_halted:
+            if sched.newly_halted:
+                for v, _ in sched.newly_halted:
                     slot = slots_next[v]
                     if slot:
                         router.msgs -= len(slot)
@@ -577,24 +542,11 @@ class SyncNetwork:
                             emit(Drop(rnd, v, len(slot)))
                         slot.clear()
 
-            # Delayed copies held by the fault injector left their senders
-            # this round: they are this round's traffic too.
-            msgs_total = router.msgs + len(newly_halted)
-            if injector is not None:
-                msgs_total += injector.take_delayed_count()
-            if emit is not None:
-                emit(
-                    RoundEnd(
-                        rnd,
-                        msgs_total,
-                        len({u for u in dirty_next if slots_next[u]}),
-                        len(newly_halted),
-                    )
-                )
-            if collect_messages:
-                msg_trace.append(msgs_total)
+            sched.end_round(
+                router.msgs, len({u for u in dirty_next if slots_next[u]})
+            )
             router.msgs = 0
-            active = still_active
+            sched.active = still_active
 
             # Rotate the pooled mail buffers: clear the slots read this
             # round (dirty_cur may contain duplicates; clearing twice is
@@ -609,22 +561,4 @@ class SyncNetwork:
             if prof is not None:
                 prof.add("route", perf_counter() - _t0)
 
-        metrics = RoundMetrics(
-            rounds=tuple(rounds),
-            active_trace=tuple(active_trace),
-            messages_per_round=tuple(msg_trace),
-        )
-        output_rounds = tuple(
-            ctx._commit_round if ctx._commit_round is not None else rounds[v]
-            for v, ctx in enumerate(contexts)
-        )
-        crashed: tuple[int, ...] = ()
-        if injector is not None and injector.crashed:
-            crashed = tuple(sorted(v for v in injector.crashed if v < n))
-        return RunResult(
-            outputs=outputs,
-            metrics=metrics,
-            contexts=tuple(contexts),
-            output_rounds=output_rounds,
-            crashed=crashed,
-        )
+        return sched.finish()

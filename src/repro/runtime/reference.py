@@ -25,7 +25,7 @@ from __future__ import annotations
 from time import perf_counter
 from typing import Any, Generator
 
-from repro.obs.events import Drop, Halt, RoundEnd, RoundStart
+from repro.obs.events import Drop
 from repro.runtime.context import _EMPTY_FROZENSET
 from repro.runtime.network import (
     MaxRoundsExceeded,
@@ -35,7 +35,7 @@ from repro.runtime.network import (
     SyncNetwork,
     default_max_rounds,
 )
-from repro.runtime.metrics import RoundMetrics
+from repro.runtime.scheduler import SyncBarrierScheduler
 
 __all__ = ["MaxRoundsExceeded", "ReferenceSyncNetwork", "RoundLimitExceeded"]
 
@@ -75,58 +75,34 @@ class ReferenceSyncNetwork(SyncNetwork):
         # perturbs both engines bit-identically.
         injector = self._resolve_faults(faults)
 
-        outputs: dict[int, Any] = {}
-        rounds = [0] * n
-        active: list[int] = list(range(n))
-        if injector is not None:
-            pre_crashed = injector.begin_run(emit)
-            if pre_crashed:
-                for v in pre_crashed:
-                    if v < n and gens[v] is not None:
-                        gens[v].close()
-                        gens[v] = None
-                active = [v for v in active if gens[v] is not None]
-            if injector.messages_active:
-                for ctx in contexts:
-                    ctx._faults = injector
+        # The *same* barrier scheduler the fast engine uses drives the
+        # round progression; this loop supplies only the specification
+        # mail mechanics (per-round dicts, explicit ``_outgoing`` routing).
+        sched = SyncBarrierScheduler(
+            contexts, gens, max_rounds, emit, injector, collect_messages
+        )
+        sched.begin_run()
         pending: dict[int, dict[int, Any]] = {}
-        active_trace: list[int] = []
-        msg_trace: list[int] = []
-        rnd = 0
-        newly_halted: list[tuple[int, Any]] = []
 
-        while active:
-            rnd += 1
-            if injector is not None:
-                crashes, due = injector.on_round(rnd, active)
-                if crashes:
-                    for v in crashes:
-                        gens[v].close()
-                        gens[v] = None
-                        rounds[v] = rnd - 1
-                    active = [v for v in active if gens[v] is not None]
-                    if not active:
-                        break
-                for src, dst, payload in due:
-                    if gens[dst] is not None:
-                        box = pending.setdefault(dst, {})
-                        slot = box.get(src)
-                        if slot is None:
-                            box[src] = [payload]
-                        else:
-                            slot.append(payload)
-            if rnd > max_rounds:
-                raise RoundLimitExceeded(max_rounds, active, contexts)
-            active_trace.append(len(active))
-            if emit is not None:
-                emit(RoundStart(rnd, len(active)))
+        while True:
+            nxt = sched.next_round()
+            if nxt is None:
+                break
+            rnd, due, halted = nxt
+            for src, dst, payload in due:
+                box = pending.setdefault(dst, {})
+                slot = box.get(src)
+                if slot is None:
+                    box[src] = [payload]
+                else:
+                    slot.append(payload)
             if prof is not None:
                 _t0 = perf_counter()
 
             # Deliver termination notices from the previous round.
-            if newly_halted:
+            if halted:
                 notice_for: dict[int, set[int]] = {}
-                for v, out in newly_halted:
+                for v, out in halted:
                     for u in g.neighbors(v):
                         contexts[u].halted[v] = out
                         contexts[u]._halted_set.add(v)
@@ -136,7 +112,6 @@ class ReferenceSyncNetwork(SyncNetwork):
                 cleared = set(notice_for)
             else:
                 cleared = set()
-            newly_halted = []
 
             if prof is not None:
                 _t1 = perf_counter()
@@ -147,36 +122,14 @@ class ReferenceSyncNetwork(SyncNetwork):
             next_pending: dict[int, dict[int, Any]] = {}
             still_active: list[int] = []
 
-            for v in active:
+            for v in sched.active:
                 ctx = contexts[v]
                 ctx.inbox = pending.get(v, {})
                 ctx._round = rnd
                 ctx._sent_round = 0
                 if v not in cleared and ctx.newly_halted:
                     ctx.newly_halted = _EMPTY_FROZENSET
-                try:
-                    yielded = next(gens[v])
-                    if yielded is not None:
-                        raise RuntimeError(
-                            f"vertex {v} yielded {yielded!r}; programs must "
-                            "use bare `yield` (send via ctx.send/broadcast)"
-                        )
-                except StopIteration as stop:
-                    if ctx._commit_round is not None:
-                        if stop.value is not None and stop.value != ctx._commit_value:
-                            raise RuntimeError(
-                                f"vertex {v} returned {stop.value!r} after "
-                                f"committing {ctx._commit_value!r}"
-                            )
-                        outputs[v] = ctx._commit_value
-                    else:
-                        outputs[v] = stop.value
-                    rounds[v] = rnd
-                    gens[v] = None
-                    newly_halted.append((v, outputs[v]))
-                    if emit is not None:
-                        emit(Halt(rnd, v))
-                else:
+                if sched.step_vertex(v):
                     still_active.append(v)
                 # Route outgoing messages.  A vertex may send in the round
                 # it returns; those final-round sends are *delivered* to
@@ -204,7 +157,7 @@ class ReferenceSyncNetwork(SyncNetwork):
             # round: they can never be delivered (the receiver performs no
             # further computation), so they must not linger in ``pending``
             # or count as traffic.
-            for v, _ in newly_halted:
+            for v, _ in sched.newly_halted:
                 box = next_pending.pop(v, None)
                 if box:
                     dropped = sum(len(payloads) for payloads in box.values())
@@ -212,41 +165,10 @@ class ReferenceSyncNetwork(SyncNetwork):
                     if emit is not None:
                         emit(Drop(rnd, v, dropped))
 
-            msgs_total = msg_count + len(newly_halted)
-            if injector is not None:
-                msgs_total += injector.take_delayed_count()
-            if emit is not None:
-                emit(
-                    RoundEnd(
-                        rnd,
-                        msgs_total,
-                        len(next_pending),
-                        len(newly_halted),
-                    )
-                )
-            if collect_messages:
-                msg_trace.append(msgs_total)
-            active = still_active
+            sched.end_round(msg_count, len(next_pending))
+            sched.active = still_active
             pending = next_pending
             if prof is not None:
                 prof.add("route", perf_counter() - _t0)
 
-        metrics = RoundMetrics(
-            rounds=tuple(rounds),
-            active_trace=tuple(active_trace),
-            messages_per_round=tuple(msg_trace),
-        )
-        output_rounds = tuple(
-            ctx._commit_round if ctx._commit_round is not None else rounds[v]
-            for v, ctx in enumerate(contexts)
-        )
-        crashed: tuple[int, ...] = ()
-        if injector is not None and injector.crashed:
-            crashed = tuple(sorted(v for v in injector.crashed if v < n))
-        return RunResult(
-            outputs=outputs,
-            metrics=metrics,
-            contexts=tuple(contexts),
-            output_rounds=output_rounds,
-            crashed=crashed,
-        )
+        return sched.finish()

@@ -1,0 +1,306 @@
+"""The scheduling seam: who steps when, and when messages are delivered.
+
+Historically the global round barrier was hard-wired into both sync
+engines: each carried its own copy of the round-advance bookkeeping
+(fault-adversary crash application, watchdog, active-trace accounting,
+``round_start``/``round_end`` narration, and the StopIteration protocol
+that turns a generator return into an output + halt notice).  This module
+lifts that shared skeleton into an explicit scheduler object so that
+"when vertices step" is a pluggable policy:
+
+* :class:`SyncBarrierScheduler` -- the global-round barrier, used by both
+  the fast engine (:class:`repro.runtime.network.SyncNetwork`) and the
+  reference engine (:class:`repro.runtime.reference
+  .ReferenceSyncNetwork`).  Mail mechanics (pooled slots vs. per-round
+  dicts) stay engine-specific; everything the differential suites compare
+  -- event order, fault injection points, metrics accounting -- lives
+  here once, so the two engines cannot drift apart.
+* the event-queue scheduler of :mod:`repro.runtime.async_sched` -- no
+  global round: each vertex advances its own local round as soon as the
+  tokens it is waiting for arrive, with seeded per-edge delivery times.
+
+Mode selection mirrors :func:`repro.runtime.network.engine_session`:
+drivers construct networks internally, so the execution *mode* is a
+process-wide session too (``mode_session("async")`` /
+``zoo.execute(mode="async")`` / ``repro run --mode async``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.obs.events import Halt, RoundEnd, RoundStart
+from repro.runtime.metrics import RoundMetrics
+
+#: the selectable execution modes: the synchronous global-round barrier
+#: (today's three engines) and the event-driven asynchronous executor
+#: (per-edge delivery times, no global round -- see
+#: :mod:`repro.runtime.async_sched`)
+MODES = ("sync", "async")
+
+#: process-wide (mode, delays) override stack (see :class:`mode_session`)
+_MODE_STACK: list[tuple[str, Any]] = []
+
+
+def current_mode() -> str:
+    """The execution mode new runs will use: ``"sync"`` unless a
+    :class:`mode_session` override is active."""
+    return _MODE_STACK[-1][0] if _MODE_STACK else "sync"
+
+
+def current_delays():
+    """The :class:`~repro.runtime.async_sched.DelaySpec` the innermost
+    :class:`mode_session` selected, or ``None`` (the unit-delay default).
+    Only consulted by the asynchronous executor."""
+    return _MODE_STACK[-1][1] if _MODE_STACK else None
+
+
+class mode_session:
+    """Context manager selecting the execution mode for enclosed runs.
+
+    Inside ``mode_session("async")`` every ``SyncNetwork.run`` executes on
+    the event-queue scheduler (:func:`repro.runtime.async_sched.run_async`)
+    instead of the global-round barrier.  Sessions nest; the innermost
+    wins.  Outputs and per-vertex round counts are mode-invariant (the
+    asynchronous executor is an alpha-synchronizer over the same
+    computation); what changes is the *time* dimension the async mode
+    adds.
+
+    ``delays`` optionally carries the link-delay model
+    (:class:`~repro.runtime.async_sched.DelaySpec`) down to runs whose
+    networks are constructed internally by algorithm drivers -- the same
+    reason the mode itself is a session.  Ignored in sync mode.
+    """
+
+    def __init__(self, mode: str, delays=None) -> None:
+        if mode not in MODES:
+            raise ValueError(
+                f"unknown mode {mode!r}; expected one of {MODES}"
+            )
+        self.mode = mode
+        self.delays = delays
+
+    def __enter__(self) -> "mode_session":
+        _MODE_STACK.append((self.mode, self.delays))
+        return self
+
+    def __exit__(self, *exc) -> None:
+        _MODE_STACK.pop()
+
+
+class SyncBarrierScheduler:
+    """The global-round barrier, extracted from the two sync engines.
+
+    One instance drives one run.  The engine loop becomes::
+
+        sched = SyncBarrierScheduler(contexts, gens, max_rounds, emit,
+                                     injector, collect_messages)
+        sched.begin_run()
+        while True:
+            nxt = sched.next_round()        # crashes, watchdog, round_start
+            if nxt is None:
+                break
+            rnd, due, halted = nxt
+            ... deliver `halted` notices and `due` delayed copies ...
+            for v in active:  still_active if sched.step_vertex(v) ...
+            ... engine-specific routing / same-round drops ...
+            sched.end_round(routed, receivers)
+        return sched.finish()
+
+    The scheduler owns exactly the state both engines used to duplicate:
+    the round counter, the active list, per-vertex round counts, outputs,
+    halt notices, the active/message traces, and the fault-injector
+    driving points.  Event order is pinned by the differential suites
+    (``tests/runtime/test_equivalence.py`` and
+    ``test_fault_equivalence.py``): fault crashes narrate before the
+    watchdog fires, ``round_start`` before any delivery, ``halt`` at step
+    time, ``round_end`` after same-round drops.
+    """
+
+    __slots__ = (
+        "contexts",
+        "gens",
+        "max_rounds",
+        "emit",
+        "injector",
+        "collect_messages",
+        "outputs",
+        "rounds",
+        "active",
+        "rnd",
+        "active_trace",
+        "msg_trace",
+        "newly_halted",
+    )
+
+    def __init__(
+        self,
+        contexts,
+        gens: list[Generator[None, None, Any] | None],
+        max_rounds: int,
+        emit,
+        injector,
+        collect_messages: bool = True,
+    ) -> None:
+        self.contexts = contexts
+        self.gens = gens
+        self.max_rounds = max_rounds
+        self.emit = emit
+        self.injector = injector
+        self.collect_messages = collect_messages
+        n = len(contexts)
+        self.outputs: dict[int, Any] = {}
+        self.rounds = [0] * n
+        self.active: list[int] = list(range(n))
+        self.rnd = 0
+        self.active_trace: list[int] = []
+        self.msg_trace: list[int] = []
+        #: vertices that terminated this round, as ``(v, output)`` -- their
+        #: notices are handed to the engine at the start of the next round
+        self.newly_halted: list[tuple[int, Any]] = []
+
+    # ------------------------------------------------------------------
+    def begin_run(self) -> None:
+        """Start the session: remove vertices already crashed in earlier
+        runs (crash-stop persists across a fault session) and wire the
+        route-side fault hook into the contexts."""
+        injector = self.injector
+        if injector is None:
+            return
+        gens = self.gens
+        pre_crashed = injector.begin_run(self.emit)
+        if pre_crashed:
+            n = len(gens)
+            for v in pre_crashed:
+                if v < n and gens[v] is not None:
+                    gens[v].close()
+                    gens[v] = None
+            self.active = [v for v in self.active if gens[v] is not None]
+        if injector.messages_active:
+            for ctx in self.contexts:
+                ctx._faults = injector
+
+    def next_round(
+        self,
+    ) -> tuple[int, list[tuple[int, int, Any]], list[tuple[int, Any]]] | None:
+        """Advance the barrier to the next round, or ``None`` when done.
+
+        Applies this round's adversary crashes (the crashed perform no
+        computation from now on; ``fault_crash`` narrates each), trips the
+        watchdog, records the active trace and emits ``round_start``.
+        Returns ``(rnd, due, halted)``: the 1-based round number, the
+        delayed copies due for delivery now (already filtered of crashed
+        and terminated receivers), and the previous round's termination
+        notices for the engine to fan out.
+        """
+        if not self.active:
+            return None
+        self.rnd += 1
+        rnd = self.rnd
+        gens = self.gens
+        due: list[tuple[int, int, Any]] = []
+        if self.injector is not None:
+            crashes, raw_due = self.injector.on_round(rnd, self.active)
+            if crashes:
+                rounds = self.rounds
+                for v in crashes:
+                    gens[v].close()
+                    gens[v] = None
+                    rounds[v] = rnd - 1
+                self.active = [v for v in self.active if gens[v] is not None]
+                if not self.active:
+                    return None
+            if raw_due:
+                due = [
+                    (src, dst, payload)
+                    for src, dst, payload in raw_due
+                    if gens[dst] is not None
+                ]
+        if rnd > self.max_rounds:
+            from repro.runtime.network import RoundLimitExceeded
+
+            raise RoundLimitExceeded(self.max_rounds, self.active, self.contexts)
+        self.active_trace.append(len(self.active))
+        if self.emit is not None:
+            self.emit(RoundStart(rnd, len(self.active)))
+        halted = self.newly_halted
+        self.newly_halted = []
+        return rnd, due, halted
+
+    def step_vertex(self, v: int) -> bool:
+        """Advance vertex ``v`` one round; ``False`` when it terminated.
+
+        A StopIteration return becomes the vertex's output (the committed
+        value when ``ctx.commit`` fixed it earlier -- returning a
+        *different* value afterwards is an error), its running time
+        r(v) = this round, and a halt notice queued for next round.
+        """
+        gens = self.gens
+        ctx = self.contexts[v]
+        try:
+            yielded = next(gens[v])
+            if yielded is not None:
+                raise RuntimeError(
+                    f"vertex {v} yielded {yielded!r}; programs must "
+                    "use bare `yield` (send via ctx.send/broadcast)"
+                )
+        except StopIteration as stop:
+            if ctx._commit_round is not None:
+                if stop.value is not None and stop.value != ctx._commit_value:
+                    raise RuntimeError(
+                        f"vertex {v} returned {stop.value!r} after "
+                        f"committing {ctx._commit_value!r}"
+                    )
+                self.outputs[v] = ctx._commit_value
+            else:
+                self.outputs[v] = stop.value
+            self.rounds[v] = self.rnd
+            gens[v] = None
+            self.newly_halted.append((v, self.outputs[v]))
+            if self.emit is not None:
+                self.emit(Halt(self.rnd, v))
+            return False
+        return True
+
+    def end_round(self, routed: int, receivers: int) -> None:
+        """Close the round: fold the engine's routed-copy count (after
+        same-round drops), this round's halt notices, and the copies the
+        adversary held for later delivery into the traffic trace, and
+        emit ``round_end``."""
+        msgs_total = routed + len(self.newly_halted)
+        if self.injector is not None:
+            msgs_total += self.injector.take_delayed_count()
+        if self.emit is not None:
+            self.emit(
+                RoundEnd(self.rnd, msgs_total, receivers, len(self.newly_halted))
+            )
+        if self.collect_messages:
+            self.msg_trace.append(msgs_total)
+
+    def finish(self):
+        """Assemble the :class:`~repro.runtime.network.RunResult`."""
+        from repro.runtime.network import RunResult
+
+        contexts = self.contexts
+        rounds = self.rounds
+        metrics = RoundMetrics(
+            rounds=tuple(rounds),
+            active_trace=tuple(self.active_trace),
+            messages_per_round=tuple(self.msg_trace),
+        )
+        output_rounds = tuple(
+            ctx._commit_round if ctx._commit_round is not None else rounds[v]
+            for v, ctx in enumerate(contexts)
+        )
+        crashed: tuple[int, ...] = ()
+        injector = self.injector
+        if injector is not None and injector.crashed:
+            n = len(contexts)
+            crashed = tuple(sorted(v for v in injector.crashed if v < n))
+        return RunResult(
+            outputs=self.outputs,
+            metrics=metrics,
+            contexts=tuple(contexts),
+            output_rounds=output_rounds,
+            crashed=crashed,
+        )

@@ -51,6 +51,51 @@ def _validate_partition(g, res) -> str:
     return f"H-partition into {res.num_sets} sets (A = {res.A})"
 
 
+def _validate_leader_election(g, res) -> str:
+    outputs = res.outputs
+    for v in g.vertices():
+        if outputs.get(v) not in ("leader", "non-leader"):
+            raise VerificationError(
+                f"vertex {v} has no leader-election output "
+                f"(got {outputs.get(v)!r})"
+            )
+    leaders = [v for v, out in outputs.items() if out == "leader"]
+    if len(leaders) != 1:
+        raise VerificationError(
+            f"expected exactly one leader, got {sorted(leaders)}"
+        )
+    if leaders[0] != res.leader:
+        raise VerificationError(
+            f"result names leader {res.leader} but vertex {leaders[0]} "
+            "output 'leader'"
+        )
+    return f"unique leader {res.leader} elected on ring of {g.n}"
+
+
+def _validate_consensus(g, res) -> str:
+    decisions, values = res.decisions, res.values
+    for v in g.vertices():
+        if decisions.get(v) not in (0, 1):
+            raise VerificationError(
+                f"vertex {v} has no binary decision (got {decisions.get(v)!r})"
+            )
+    comps = g.connected_components()
+    for comp in comps:
+        # fault-free flood-min decides exactly the component minimum
+        want = min(values[v] for v in comp)
+        for v in comp:
+            if decisions[v] != want:
+                raise VerificationError(
+                    f"vertex {v} decided {decisions[v]} but its component's "
+                    f"input minimum is {want}"
+                )
+    zeros = sum(1 for v in g.vertices() if decisions[v] == 0)
+    return (
+        f"consensus on {len(comps)} component(s): "
+        f"{zeros} decided 0, {g.n - zeros} decided 1"
+    )
+
+
 #: problem kind -> full validator; the kind taxonomy is closed, so this
 #: table is total over PROBLEM_KINDS (pinned by tests/zoo)
 FULL_VALIDATORS: dict[str, Callable] = {
@@ -59,6 +104,8 @@ FULL_VALIDATORS: dict[str, Callable] = {
     "matching": _validate_matching,
     "edge-coloring": _validate_edge_coloring,
     "partition": _validate_partition,
+    "leader-election": _validate_leader_election,
+    "consensus": _validate_consensus,
 }
 
 
@@ -139,6 +186,80 @@ def check_edge_coloring(g, res, alive: set[int]) -> None:
             by_color[c] = e
 
 
+def check_leader_election(g, res, alive: set[int]) -> None:
+    """Safety half of leader election: no two surviving leaders.
+
+    Completing at all under a crash is rare (the token must tour every
+    ring vertex), but when it happens the survivors must not disagree on
+    who leads, and every surviving vertex must have fixed an output.
+    """
+    outputs = res.outputs
+    leaders = []
+    for v in alive:
+        out = outputs.get(v)
+        if out not in ("leader", "non-leader"):
+            raise VerificationError(
+                f"surviving vertex {v} has no leader-election output "
+                f"(got {out!r})"
+            )
+        if out == "leader":
+            leaders.append(v)
+    if len(leaders) > 1:
+        raise VerificationError(
+            f"multiple surviving leaders: {sorted(leaders)}"
+        )
+
+
+def check_consensus(g, res, alive: set[int]) -> None:
+    """Safety half of binary consensus among crash-stop survivors.
+
+    Agreement per connected component of the *surviving* subgraph (a
+    crash may disconnect survivors, and disconnected groups legitimately
+    diverge), and validity against the *original* component's inputs: a
+    crashed vertex's zero may have propagated before the crash, but no
+    value outside the component's input set can ever be decided.
+    """
+    decisions, values = res.decisions, res.values
+    for v in alive:
+        if decisions.get(v) not in (0, 1):
+            raise VerificationError(
+                f"surviving vertex {v} has no binary decision "
+                f"(got {decisions.get(v)!r})"
+            )
+    # inputs available within each component of the original graph
+    full_inputs: dict[int, set[int]] = {}
+    for comp in g.connected_components():
+        inputs = {values[v] for v in comp}
+        for v in comp:
+            full_inputs[v] = inputs
+    # agreement on each connected component of the surviving subgraph
+    seen: set[int] = set()
+    for root in sorted(alive):
+        if root in seen:
+            continue
+        stack, comp = [root], [root]
+        seen.add(root)
+        while stack:
+            u = stack.pop()
+            for w in g.neighbors(u):
+                if w in alive and w not in seen:
+                    seen.add(w)
+                    stack.append(w)
+                    comp.append(w)
+        want = decisions[root]
+        for v in comp:
+            if decisions[v] != want:
+                raise VerificationError(
+                    f"surviving vertices {root} and {v} are connected but "
+                    f"decided {want} and {decisions[v]}"
+                )
+        if want not in full_inputs[root]:
+            raise VerificationError(
+                f"component of {root} decided {want}, which no vertex of "
+                "its original component had as input"
+            )
+
+
 #: problem kind -> survivor-restricted safety check
 SURVIVOR_CHECKS: dict[str, Callable] = {
     "coloring": check_vertex_coloring,
@@ -146,6 +267,8 @@ SURVIVOR_CHECKS: dict[str, Callable] = {
     "matching": check_matching,
     "edge-coloring": check_edge_coloring,
     "partition": check_partition,
+    "leader-election": check_leader_election,
+    "consensus": check_consensus,
 }
 
 

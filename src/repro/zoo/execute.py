@@ -28,7 +28,7 @@ from typing import Any, Sequence
 
 from repro.zoo.checks import full_validator, survivor_check
 from repro.zoo.registry import get
-from repro.zoo.spec import ENGINES, AlgorithmSpec
+from repro.zoo.spec import ENGINES, MODES, AlgorithmSpec
 
 
 @dataclass
@@ -37,6 +37,7 @@ class Execution:
 
     spec: AlgorithmSpec
     engine: str
+    mode: str = "sync"
     result: Any = None
     crashed: tuple[int, ...] = ()
     plan: Any = None  # the FaultPlan actually injected, or None
@@ -91,6 +92,8 @@ def execute(
     *,
     baseline: bool = False,
     engine: str = "fast",
+    mode: str = "sync",
+    delays=None,
     shards: int | None = None,
     partitioner: str = "range",
     faults=None,
@@ -114,6 +117,18 @@ def execute(
     engine:
         ``"fast"`` (default) or ``"reference"`` -- selects the round
         engine for every network the driver builds.
+    mode:
+        ``"sync"`` (default, the global-round barrier) or ``"async"``
+        (the event-queue scheduler of
+        :mod:`repro.runtime.async_sched`: per-edge delivery times, no
+        global round).  Outputs and round counts are mode-invariant;
+        async runs additionally report virtual-time metrics on results
+        that carry a ``times`` field.  Requires the fast engine and no
+        shards.
+    delays:
+        A :class:`repro.runtime.async_sched.DelaySpec` selecting the
+        link-delay distribution for ``mode="async"`` (``None`` = fixed
+        unit delays).  Rejected in sync mode.
     shards:
         Run the bulk driver sharded across this many worker processes
         (:func:`repro.runtime.shard_session`); requires
@@ -140,6 +155,18 @@ def execute(
         spec = get(spec)
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+    if mode not in MODES:
+        raise ValueError(f"unknown mode {mode!r}; expected one of {MODES}")
+    if mode == "async" and engine != "fast":
+        raise ValueError(
+            f"mode='async' runs on the fast engine only (the event-queue "
+            f"scheduler replaces the round loop), got engine={engine!r}"
+        )
+    if mode == "sync" and delays is not None:
+        raise ValueError(
+            "delays is an async-mode parameter; sync runs have no "
+            "link-delay model"
+        )
 
     from repro import obs
     from repro.runtime import RoundLimitExceeded, engine_session
@@ -186,7 +213,9 @@ def execute(
         sinks.append(obs.JsonlSink(trace, meta=meta))
     profiler = obs.PhaseProfiler() if profile else None
 
-    ex = Execution(spec=spec, engine=engine, plan=plan, profiler=profiler)
+    ex = Execution(
+        spec=spec, engine=engine, mode=mode, plan=plan, profiler=profiler
+    )
 
     def _drive():
         injector = plan.injector() if plan is not None else None
@@ -217,6 +246,10 @@ def execute(
     t0 = perf_counter()
     with ExitStack() as stack:
         stack.enter_context(engine_session(engine))
+        if mode != "sync":
+            from repro.runtime import mode_session
+
+            stack.enter_context(mode_session(mode, delays=delays))
         if shards is not None:
             from repro.runtime import shard_session
 
@@ -243,6 +276,11 @@ def execute(
             "worst_case": m.worst_case,
             "total_messages": m.total_messages,
         }
+    t = getattr(ex.result, "times", None)
+    if t is not None:
+        metrics_digest["vertex_averaged_time"] = t.vertex_averaged_time
+        metrics_digest["worst_case_time"] = t.worst_case_time
+        metrics_digest["averaged_output_time"] = t.averaged_output_time
     if ex.crashed:
         metrics_digest["crashed"] = len(ex.crashed)
     status = "ok" if ex.completed else ("watchdog" if ex.watchdog else "error")
@@ -252,6 +290,8 @@ def execute(
         seed=seed,
         workload=(trace_meta or {}).get("workload", ""),
         engine=engine,
+        mode=mode,
+        delays=delays,
         shards=shards or 0,
         partitioner=partitioner if shards is not None else "",
         baseline=baseline,

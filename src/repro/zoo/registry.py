@@ -210,6 +210,35 @@ _SPECS: tuple[AlgorithmSpec, ...] = (
             table=2,
         ),
     ),
+    AlgorithmSpec(
+        name="leader-election",
+        problem="leader-election",
+        driver=_D("run_leader_election", passes_a=False, passes_seed=True),
+        paper_row=PaperRow(
+            row="S2.LE",
+            label="ring leader election, Theta(n) worst vs O(log n) avg output",
+            ref="Feuilloley [12], Sections 2-3",
+        ),
+        # Hirschberg-Sinclair needs an oriented ring: probes, echoes and
+        # the elected token all travel successor-wards
+        workloads=("ring",),
+        # crash-safe in the safety sense: a broken ring stops the token
+        # (watchdog non-termination, an accepted fuzz outcome) but can
+        # never elect two leaders
+        crash_safe=True,
+    ),
+    AlgorithmSpec(
+        name="consensus",
+        problem="consensus",
+        driver=_D("run_consensus", passes_a=False, passes_seed=True),
+        paper_row=PaperRow(
+            row="S2.BC",
+            label="crash-tolerant binary consensus, Theta(n) worst vs O(1) avg output",
+            ref="flood-min (related work)",
+        ),
+        randomized=True,  # input bits are drawn from the seed
+        crash_safe=True,
+    ),
 )
 
 _REGISTRY: dict[str, AlgorithmSpec] = {}
@@ -326,7 +355,9 @@ def check_registry() -> list[str]:
     6. paper-row tables are 1, 2 or None and row ids are unique;
     7. ``bulk_capable`` flags mirror ``repro.core.bulk.BULK_DRIVERS``
        exactly, every bulk-driver entry names a public export, and the
-       zoo's engine tuple matches the runtime's.
+       zoo's engine tuple matches the runtime's;
+    8. every ``workloads`` restriction names real bench workloads, and
+       the zoo's execution-mode tuple matches the scheduler's.
     """
     import repro
 
@@ -436,4 +467,22 @@ def check_registry() -> list[str]:
         problems.append(
             f"bulk driver entry {func!r} does not name a public repro export"
         )
+
+    # workload drift: topology restrictions must name real bench
+    # workloads, and the zoo's mode tuple must match the scheduler's.
+    from repro.bench.workloads import WORKLOADS
+    from repro.runtime.scheduler import MODES as _RUNTIME_MODES
+    from repro.zoo.spec import MODES as _ZOO_MODES
+
+    if _ZOO_MODES != _RUNTIME_MODES:
+        problems.append(
+            f"zoo MODES {_ZOO_MODES!r} != scheduler MODES {_RUNTIME_MODES!r}"
+        )
+    for spec in all_specs():
+        for wl in spec.workloads:
+            if wl not in WORKLOADS:
+                problems.append(
+                    f"{spec.name}: workload restriction {wl!r} is not a "
+                    "registered bench workload"
+                )
     return problems

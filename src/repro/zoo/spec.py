@@ -23,12 +23,28 @@ from typing import Any, Callable, Mapping, Sequence
 
 #: the problem taxonomy of the paper's result tables (Table 1 is all
 #: vertex coloring; Table 2 is MIS / edge-coloring / matching; the
-#: H-partition of Section 6 underlies them all)
-PROBLEM_KINDS = ("coloring", "edge-coloring", "mis", "matching", "partition")
+#: H-partition of Section 6 underlies them all), plus the related-work
+#: rows that motivate the averaged *output* measure: ring leader
+#: election (Feuilloley [12]) and crash-tolerant binary consensus
+PROBLEM_KINDS = (
+    "coloring",
+    "edge-coloring",
+    "mis",
+    "matching",
+    "partition",
+    "leader-election",
+    "consensus",
+)
 
 #: engines `execute()` accepts (see repro.runtime.engine_session);
 #: kept in sync with ``repro.runtime.ENGINES`` (check_registry verifies)
 ENGINES = ("fast", "reference", "bulk")
+
+#: execution modes `execute()` accepts (see repro.runtime.mode_session):
+#: the synchronous global-round barrier or the event-driven asynchronous
+#: executor; kept in sync with ``repro.runtime.scheduler.MODES``
+#: (check_registry verifies)
+MODES = ("sync", "async")
 
 
 @dataclass(frozen=True)
@@ -146,6 +162,13 @@ class AlgorithmSpec:
         ``execute(engine="bulk")``.  ``check_registry`` fails on any
         drift between this flag and the driver registry.  Bulk-capable
         or not, fault plans never combine with the bulk engine.
+    workloads:
+        Bench-workload names the algorithm is restricted to, or ``()``
+        for "any workload".  Topology-bound algorithms (ring leader
+        election) declare their topology here *once*; the fuzzer's case
+        sampler and the test parametrizations honor the restriction, and
+        ``check_registry`` fails on names missing from the bench
+        registry.
     """
 
     name: str
@@ -156,6 +179,7 @@ class AlgorithmSpec:
     randomized: bool = False
     crash_safe: bool = True
     bulk_capable: bool = False
+    workloads: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if self.problem not in PROBLEM_KINDS:

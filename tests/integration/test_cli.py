@@ -208,7 +208,7 @@ def test_inspect_timeline_sharded_run(tmp_path, capsys):
     assert main(["inspect", path, "--timeline"]) == 0
     out = capsys.readouterr().out
     assert "timeline : partition" in out
-    assert "engine=bulk shards=2" in out
+    assert "engine=bulk mode=sync shards=2" in out
     for phase in ("compute", "barrier", "allreduce", "publish"):
         assert phase in out
     assert "wall" in out

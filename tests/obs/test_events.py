@@ -11,6 +11,7 @@ from repro.obs.events import (
     Broadcast,
     Checkpoint,
     Commit,
+    Delivery,
     Drop,
     EventBus,
     FaultCrash,
@@ -39,6 +40,7 @@ def _sample_events():
         Commit(1, 4),
         Halt(1, 4),
         Drop(1, 4, 2),
+        Delivery(2, 0, 1, 1.5),
         FaultCrash(1, 4),
         FaultDrop(2, 0, 1),
         FaultDup(2, 0, 1),
@@ -79,6 +81,7 @@ def test_registry_covers_the_issue_event_vocabulary():
         "fault_drop",
         "fault_dup",
         "fault_delay",
+        "delivery",
         "worker_lost",
         "worker_restart",
         "checkpoint",

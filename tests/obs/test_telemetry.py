@@ -199,6 +199,30 @@ def test_manifest_key_sensitive_to_identity_insensitive_to_engine():
     assert bulk.engine == "bulk" and base.engine == "fast"
 
 
+def test_manifest_mode_folds_into_key_only_when_async():
+    from repro.runtime import DelaySpec
+
+    base = _execute().manifest
+    assert base.mode == "sync" and base.delays == {}
+    # sync keys must not mention the mode: every pre-existing sync
+    # content address stays byte-stable across this feature
+    assert "mode" not in json.dumps(base.to_record()["key"])
+    d = DelaySpec(dist="uniform", scale=2.0, seed=3)
+    async_ = _execute(mode="async", delays=d).manifest
+    assert async_.mode == "async" and async_.delays == d.to_dict()
+    assert async_.key != base.key
+    # the delay model is identity for async runs: a different seed is a
+    # different experiment
+    other = _execute(mode="async", delays=DelaySpec(dist="uniform",
+                                                    scale=2.0, seed=4))
+    assert other.manifest.key != async_.key
+    # round-trip keeps the mode block
+    back = RunManifest.from_record(
+        json.loads(json.dumps(async_.to_record()))
+    )
+    assert back == async_
+
+
 def test_manifest_records_timing_and_metrics_digest():
     ex = _execute(profile=True)
     man = ex.manifest

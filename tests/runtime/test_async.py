@@ -1,0 +1,274 @@
+"""The event-queue asynchronous executor vs the global-round barrier.
+
+The async scheduler (:mod:`repro.runtime.async_sched`) is an
+alpha-synchronizer: for *every* delay assignment the inbox a vertex sees
+in local round r is exactly the barrier's round-(r-1) -> r delivery, so
+the entire content surface -- outputs, per-vertex rounds, commit rounds,
+active trace, traffic trace, crash sets -- must be mode-invariant, under
+fault plans included.  What the async mode adds is the virtual-time
+dimension (``RunResult.times``); these tests pin both the invariance and
+the time accounting (fixed unit delays reproduce round counts exactly).
+"""
+
+import pytest
+
+from repro.bench.workloads import make_workload
+from repro.faults import CrashSpec, FaultPlan, MessageFaults
+from repro.graphs import generators as gen
+from repro.runtime import (
+    DELAY_DISTS,
+    DelaySpec,
+    MODES,
+    RoundLimitExceeded,
+    SyncNetwork,
+    current_mode,
+    mode_session,
+    run_async,
+)
+from repro.runtime.scheduler import current_delays
+
+FAMILIES = ("forest_union_a3", "gnp_sparse", "ring", "deep_tree")
+N = 80
+
+
+# ---------------------------------------------------------------------------
+# Program zoo (deterministic given graph/ids/seed via ctx.rng)
+# ---------------------------------------------------------------------------
+
+def prog_wave(ctx):
+    """Flood the max id seen; randomized per-vertex lifetimes."""
+    best = ctx.id
+    lifetime = 2 + ctx.rng.randrange(5)
+    for _ in range(lifetime):
+        ctx.broadcast(("w", best))
+        yield
+        for msgs in ctx.inbox.values():
+            for _tag, x in msgs:
+                if x > best:
+                    best = x
+    return best
+
+
+def prog_luby_ish(ctx):
+    """Priority contest with halting -- exercises halted/newly_halted."""
+    active = set(ctx.neighbors)
+    for attempt in range(1, 12):
+        prio = (ctx.rng.random(), ctx.id)
+        ctx.broadcast(("p", attempt, prio))
+        yield
+        active -= set(ctx.newly_halted)
+        prios = {}
+        for u, msgs in ctx.inbox.items():
+            for _tag, att, p in msgs:
+                if att == attempt:
+                    prios[u] = p
+        if all(u not in active or prios.get(u, (2.0, -1)) > prio for u in active):
+            return attempt
+    return 0
+
+
+def prog_lockstep(ctx):
+    """Exactly 6 token-gated rounds for everyone -- with fixed unit
+    delays, local round r executes at t = r - 1 for every vertex."""
+    best = ctx.id
+    for _ in range(6):
+        ctx.broadcast(("l", best))
+        yield
+        for msgs in ctx.inbox.values():
+            for _tag, x in msgs:
+                best = max(best, x)
+    return best
+
+
+def prog_commit_then_linger(ctx):
+    """Commits in round 1, relays for 4 more rounds -- pins output times."""
+    ctx.commit(ctx.id % 2)
+    for _ in range(4):
+        ctx.broadcast(("x",))
+        yield
+    return ctx.id % 2
+
+
+PROGRAMS = (prog_wave, prog_luby_ish, prog_commit_then_linger)
+
+
+def _run(program, mode="sync", workload="forest_union_a3", seed=0,
+         delays=None, faults=None, n=N):
+    g, _a = make_workload(workload)(n, seed=seed)
+    ids = gen.random_ids(g.n, seed=1000 + seed)
+    net = SyncNetwork(g, ids=ids, seed=seed)
+    if mode == "sync":
+        return net.run(program, max_rounds=256, faults=faults)
+    return run_async(net, program, max_rounds=256, faults=faults,
+                     delays=delays)
+
+
+def _assert_content_identical(sync, async_):
+    assert async_.outputs == sync.outputs
+    assert async_.metrics.rounds == sync.metrics.rounds
+    assert async_.metrics.active_trace == sync.metrics.active_trace
+    assert (
+        async_.metrics.messages_per_round == sync.metrics.messages_per_round
+    )
+    assert async_.output_rounds == sync.output_rounds
+    assert async_.crashed == sync.crashed
+
+
+# ---------------------------------------------------------------------------
+# Content invariance
+# ---------------------------------------------------------------------------
+
+class TestContentInvariance:
+    @pytest.mark.parametrize("program", PROGRAMS)
+    @pytest.mark.parametrize("workload", FAMILIES)
+    @pytest.mark.parametrize("dist", DELAY_DISTS)
+    def test_async_matches_sync_for_every_delay_model(
+        self, program, workload, dist
+    ):
+        sync = _run(program, "sync", workload)
+        delays = DelaySpec(dist=dist, scale=1.7, seed=5)
+        async_ = _run(program, "async", workload, delays=delays)
+        _assert_content_identical(sync, async_)
+        assert async_.times is not None and sync.times is None
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_fault_plans_replay_identically(self, seed):
+        plan = FaultPlan(
+            seed=seed,
+            crashes=CrashSpec(hazard=0.03),
+            messages=MessageFaults(drop=0.05, duplicate=0.05, delay=0.05,
+                                   max_delay=2),
+        )
+        sync = _run(prog_wave, "sync", "gnp_sparse", seed=seed, faults=plan)
+        async_ = _run(
+            prog_wave, "async", "gnp_sparse", seed=seed, faults=plan,
+            delays=DelaySpec(dist="exp", scale=0.8, seed=seed),
+        )
+        _assert_content_identical(sync, async_)
+        assert async_.crashed  # hazard 0.03 on n=80 does crash someone
+
+    def test_mode_session_routes_network_run(self):
+        # SyncNetwork.run itself dispatches to the event queue inside
+        # mode_session("async") -- the seam drivers rely on.
+        g, _a = make_workload("forest_union_a3")(40, seed=0)
+        ids = gen.random_ids(g.n, seed=1)
+        sync = SyncNetwork(g, ids=ids, seed=0).run(prog_wave, max_rounds=64)
+        with mode_session("async", delays=DelaySpec(dist="uniform")):
+            async_ = SyncNetwork(g, ids=ids, seed=0).run(
+                prog_wave, max_rounds=64
+            )
+        _assert_content_identical(sync, async_)
+        assert async_.times is not None
+
+
+# ---------------------------------------------------------------------------
+# Virtual-time accounting
+# ---------------------------------------------------------------------------
+
+class TestTimeAccounting:
+    def test_fixed_unit_delays_reproduce_round_counts(self):
+        # On a connected graph where every vertex stays token-gated until
+        # it halts, round r executes at t = r - 1, so the normalized
+        # completion times equal the round counts exactly.
+        res = _run(prog_lockstep, "async", "ring", delays=DelaySpec())
+        t = res.times
+        assert t.normalized_times == tuple(float(r) for r in res.metrics.rounds)
+        assert t.vertex_averaged_time == res.metrics.vertex_averaged
+        assert t.worst_case_time == float(res.metrics.worst_case)
+
+    def test_commit_times_drive_averaged_output_time(self):
+        res = _run(prog_commit_then_linger, "async", "ring",
+                   delays=DelaySpec())
+        t = res.times
+        # everyone commits in round 1 (t = 0) but halts at round 5
+        assert t.averaged_output_time == 1.0
+        assert t.vertex_averaged_time == 5.0
+
+    def test_replay_is_deterministic(self):
+        d = DelaySpec(dist="exp", scale=1.3, seed=9)
+        r1 = _run(prog_luby_ish, "async", "gnp_sparse", delays=d)
+        r2 = _run(prog_luby_ish, "async", "gnp_sparse", delays=d)
+        assert r1.times.times == r2.times.times
+        assert r1.outputs == r2.outputs
+
+    def test_delay_seed_changes_times_not_content(self):
+        r1 = _run(prog_wave, "async", "gnp_sparse",
+                  delays=DelaySpec(dist="exp", seed=1))
+        r2 = _run(prog_wave, "async", "gnp_sparse",
+                  delays=DelaySpec(dist="exp", seed=2))
+        assert r1.outputs == r2.outputs
+        assert r1.metrics.rounds == r2.metrics.rounds
+        assert r1.times.times != r2.times.times
+
+    def test_normalization_uses_mean_delay(self):
+        r = _run(prog_lockstep, "async", "ring", delays=DelaySpec(scale=4.0))
+        # fixed delay 4: round r at t = 4 (r - 1); normalized back to r
+        assert r.times.mean_delay == 4.0
+        assert r.times.normalized_times == tuple(
+            float(x) for x in r.metrics.rounds
+        )
+
+    def test_watchdog_fires_in_async_mode(self):
+        def forever(ctx):
+            while True:
+                ctx.broadcast(("ping",))
+                yield
+
+        g = gen.ring(12)
+        net = SyncNetwork(g, ids=list(range(12)), seed=0)
+        with pytest.raises(RoundLimitExceeded):
+            run_async(net, forever, max_rounds=20)
+
+
+# ---------------------------------------------------------------------------
+# DelaySpec and the mode seam
+# ---------------------------------------------------------------------------
+
+class TestDelaySpec:
+    def test_unknown_dist_rejected(self):
+        with pytest.raises(ValueError, match="distribution"):
+            DelaySpec(dist="gamma")
+
+    @pytest.mark.parametrize("scale", [0.0, -1.0])
+    def test_nonpositive_scale_rejected(self, scale):
+        with pytest.raises(ValueError, match="scale"):
+            DelaySpec(scale=scale)
+
+    def test_roundtrip_and_describe(self):
+        d = DelaySpec(dist="uniform", scale=2.5, seed=7)
+        assert DelaySpec.from_dict(d.to_dict()) == d
+        assert "uniform" in d.describe() and "seed=7" in d.describe()
+
+    def test_draw_is_pure_and_distinct_per_edge(self):
+        d = DelaySpec(dist="exp", scale=1.0, seed=0)
+        assert d.draw(1, 2, 3) == d.draw(1, 2, 3)
+        assert d.draw(1, 2, 3) != d.draw(2, 1, 3)
+
+    @pytest.mark.parametrize("dist", DELAY_DISTS)
+    def test_all_dists_have_mean_scale(self, dist):
+        d = DelaySpec(dist=dist, scale=2.0, seed=0)
+        draws = [d.draw(0, 1, r) for r in range(2000)]
+        assert abs(sum(draws) / len(draws) - 2.0) < 0.15
+
+
+class TestModeSession:
+    def test_default_is_sync(self):
+        assert current_mode() == "sync"
+        assert current_delays() is None
+
+    def test_nesting_innermost_wins(self):
+        d = DelaySpec(dist="exp")
+        with mode_session("async", delays=d):
+            assert current_mode() == "async"
+            assert current_delays() is d
+            with mode_session("sync"):
+                assert current_mode() == "sync"
+            assert current_mode() == "async"
+        assert current_mode() == "sync"
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="mode"):
+            mode_session("warp")
+
+    def test_modes_constant(self):
+        assert MODES == ("sync", "async")

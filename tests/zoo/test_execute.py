@@ -33,7 +33,9 @@ class TestBasics:
 
     @pytest.mark.parametrize("name", [s.name for s in zoo.all_specs()])
     def test_every_registered_algorithm_executes_and_validates(self, name):
-        g, a, ids = _instance(n=40)
+        spec = zoo.get(name)
+        workload = spec.workloads[0] if spec.workloads else "forest_union_a3"
+        g, a, ids = _instance(n=40, workload=workload)
         ex = zoo.execute(name, g, a, ids, 0)
         assert ex.completed
         ex.validate(g)
@@ -66,6 +68,8 @@ _PAYLOAD = {
     "mis": lambda r: sorted(r.mis),
     "matching": lambda r: sorted(r.matching),
     "partition": lambda r: r.h_index,
+    "leader-election": lambda r: r.leader,
+    "consensus": lambda r: r.decisions,
 }
 
 
@@ -141,6 +145,71 @@ class TestEngines:
         g, a, ids = _instance(n=24)
         ex = zoo.execute("partition", g, a, ids, 0, engine="bulk", faults=FaultPlan())
         assert ex.completed and not ex.faulted
+
+
+class TestModes:
+    @pytest.mark.parametrize("name", ["partition", "mis", "consensus"])
+    def test_async_agrees_with_sync_through_execute(self, name):
+        workload = zoo.get(name).workloads or ("forest_union_a3",)
+        g, a, ids = _instance(n=60, workload=workload[0])
+        sync = zoo.execute(name, g, a, ids, 0)
+        from repro.runtime import DelaySpec
+
+        delays = DelaySpec(dist="uniform", scale=2.0, seed=7)
+        async_ = zoo.execute(name, g, a, ids, 0, mode="async", delays=delays)
+        payload = _PAYLOAD[zoo.get(name).problem]
+        assert payload(async_.result) == payload(sync.result)
+        assert async_.result.metrics.rounds == sync.result.metrics.rounds
+        assert async_.mode == "async" and sync.mode == "sync"
+        async_.validate(g)
+
+    def test_async_fills_time_metrics_sync_leaves_none(self):
+        g, a, ids = _instance(n=40)
+        sync = zoo.execute("partition", g, a, ids, 0)
+        async_ = zoo.execute("partition", g, a, ids, 0, mode="async")
+        assert getattr(sync.result, "times", None) is None
+        t = async_.result.times
+        assert t is not None and t.vertex_averaged_time > 0
+
+    def test_unknown_mode_rejected(self):
+        g, a, ids = _instance(n=24)
+        with pytest.raises(ValueError, match="mode"):
+            zoo.execute("partition", g, a, ids, 0, mode="warp")
+
+    def test_async_requires_fast_engine(self):
+        g, a, ids = _instance(n=24)
+        with pytest.raises(ValueError, match="fast"):
+            zoo.execute("partition", g, a, ids, 0, mode="async", engine="bulk")
+
+    def test_sync_rejects_delays(self):
+        from repro.runtime import DelaySpec
+
+        g, a, ids = _instance(n=24)
+        with pytest.raises(ValueError, match="delays"):
+            zoo.execute(
+                "partition", g, a, ids, 0, delays=DelaySpec(dist="exp")
+            )
+
+    def test_manifest_records_mode_and_key_stability(self, tmp_path):
+        from repro.obs import telemetry
+        from repro.runtime import DelaySpec
+
+        g, a, ids = _instance(n=40)
+        p_sync = str(tmp_path / "s.jsonl")
+        p_async = str(tmp_path / "a.jsonl")
+        zoo.execute("partition", g, a, ids, 0, trace=p_sync)
+        delays = DelaySpec(dist="exp", scale=1.5, seed=2)
+        zoo.execute(
+            "partition", g, a, ids, 0, mode="async", delays=delays,
+            trace=p_async,
+        )
+        m_sync = telemetry.latest_manifest(telemetry.manifest_path(p_sync))
+        m_async = telemetry.latest_manifest(telemetry.manifest_path(p_async))
+        assert m_sync["mode"] == "sync" and m_async["mode"] == "async"
+        assert m_async["delays"] == delays.to_dict()
+        # mode folds into the content-address only for non-sync runs,
+        # so pre-existing sync keys stay byte-stable
+        assert m_sync["key"] != m_async["key"]
 
 
 class TestFaults:
